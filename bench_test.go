@@ -1,0 +1,271 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/alarm"
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/simclock"
+)
+
+// The benchmarks in this file regenerate every table and figure of the
+// paper's evaluation (§4). Each experiment bench runs the full 3-hour
+// connected-standby simulation and reports the paper's metrics through
+// b.ReportMetric, so `go test -bench=. -benchmem` prints the rows next to
+// the usual ns/op. EXPERIMENTS.md records the paper-vs-measured values.
+
+func experimentConfig(workload []AppSpec, policy string) Config {
+	return Config{
+		Workload:     workload,
+		Policy:       policy,
+		SystemAlarms: true,
+		OneShots:     6,
+		Seed:         1,
+	}
+}
+
+// BenchmarkFigure2Motivating regenerates the §2.2 example: the energy of
+// three alarm deliveries under the native and the similarity-based
+// alignments (paper: 7,520 mJ vs 4,050 mJ).
+func BenchmarkFigure2Motivating(b *testing.B) {
+	for _, policy := range []string{"NATIVE", "SIMTY"} {
+		b.Run(policy, func(b *testing.B) {
+			var last *MotivatingResult
+			for i := 0; i < b.N; i++ {
+				r, err := Motivating(policy)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.ReportMetric(last.AlarmsMJ, "alarms_mJ")
+			b.ReportMetric(float64(last.Wakeups), "wakeups")
+		})
+	}
+}
+
+// BenchmarkFigure3Energy regenerates Figure 3: total standby energy under
+// NATIVE and SIMTY for the light and heavy workloads, split into the
+// sleep floor and the awake-attributable part (paper: SIMTY saves >33% of
+// awake energy; 20% / 25% of total).
+func BenchmarkFigure3Energy(b *testing.B) {
+	for _, wl := range []struct {
+		name  string
+		specs []AppSpec
+	}{{"Light", LightWorkload()}, {"Heavy", HeavyWorkload()}} {
+		for _, policy := range []string{"NATIVE", "SIMTY"} {
+			b.Run(wl.name+"/"+policy, func(b *testing.B) {
+				var last *Result
+				for i := 0; i < b.N; i++ {
+					r, err := Run(experimentConfig(wl.specs, policy))
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = r
+				}
+				b.ReportMetric(last.Energy.TotalMJ(), "total_mJ")
+				b.ReportMetric(last.Energy.AwakeMJ(), "awake_mJ")
+				b.ReportMetric(last.Energy.SleepMJ, "sleep_mJ")
+				b.ReportMetric(last.StandbyHours, "standby_h")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure4Delay regenerates Figure 4: the average normalized
+// delivery delay of perceptible and imperceptible alarms (paper:
+// perceptible 0 under both; imperceptible 17.9% light / 13.9% heavy under
+// SIMTY, 0.4–0.6% under NATIVE from the wake latency).
+func BenchmarkFigure4Delay(b *testing.B) {
+	for _, wl := range []struct {
+		name  string
+		specs []AppSpec
+	}{{"Light", LightWorkload()}, {"Heavy", HeavyWorkload()}} {
+		for _, policy := range []string{"NATIVE", "SIMTY"} {
+			b.Run(wl.name+"/"+policy, func(b *testing.B) {
+				var last *Result
+				for i := 0; i < b.N; i++ {
+					r, err := Run(experimentConfig(wl.specs, policy))
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = r
+				}
+				b.ReportMetric(last.Delays.ImperceptibleMean*100, "imperc_delay_pct")
+				b.ReportMetric(last.Delays.PerceptibleMean*100, "perc_delay_pct")
+			})
+		}
+	}
+}
+
+// BenchmarkTable4Wakeups regenerates Table 4: per-hardware wakeups versus
+// the expected count without alignment (paper light: CPU 733/983 NATIVE →
+// 193/830 SIMTY; heavy: 981/1,726 → 259/1,370; plus Wi-Fi, WPS,
+// accelerometer and speaker&vibrator rows).
+func BenchmarkTable4Wakeups(b *testing.B) {
+	for _, wl := range []struct {
+		name  string
+		specs []AppSpec
+	}{{"Light", LightWorkload()}, {"Heavy", HeavyWorkload()}} {
+		for _, policy := range []string{"NATIVE", "SIMTY"} {
+			b.Run(wl.name+"/"+policy, func(b *testing.B) {
+				var last *Result
+				for i := 0; i < b.N; i++ {
+					r, err := Run(experimentConfig(wl.specs, policy))
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = r
+				}
+				b.ReportMetric(float64(last.Wakeups.CPU.Wakeups), "cpu_wakeups")
+				b.ReportMetric(float64(last.Wakeups.CPU.Expected), "cpu_expected")
+				b.ReportMetric(float64(last.Wakeups.Component[hw.WiFi].Wakeups), "wifi_wakeups")
+				b.ReportMetric(float64(last.Wakeups.Component[hw.WPS].Wakeups), "wps_wakeups")
+				b.ReportMetric(float64(last.Wakeups.Component[hw.Accelerometer].Wakeups), "accel_wakeups")
+				b.ReportMetric(float64(last.SpkVib.Wakeups), "spkvib_wakeups")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationHardwareLevels compares the 2-, 3- (paper), and
+// 4-level hardware-similarity classifications (§3.1.1's sketched
+// variants) on the heavy workload.
+func BenchmarkAblationHardwareLevels(b *testing.B) {
+	for _, policy := range []string{"SIMTY-hw2", "SIMTY", "SIMTY-hw4"} {
+		b.Run(policy, func(b *testing.B) {
+			var last *Result
+			for i := 0; i < b.N; i++ {
+				r, err := Run(experimentConfig(HeavyWorkload(), policy))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.ReportMetric(last.Energy.TotalMJ(), "total_mJ")
+			b.ReportMetric(float64(last.FinalWakeups), "wakeups")
+		})
+	}
+}
+
+// BenchmarkAblationBeta sweeps the grace factor β (the paper fixes 0.96
+// to stress the perceptible/imperceptible distinction).
+func BenchmarkAblationBeta(b *testing.B) {
+	for _, beta := range []float64{0.75, 0.85, 0.96} {
+		b.Run(fmt.Sprintf("beta=%.2f", beta), func(b *testing.B) {
+			cfg := experimentConfig(LightWorkload(), "SIMTY")
+			cfg.Beta = beta
+			var last *Result
+			for i := 0; i < b.N; i++ {
+				r, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.ReportMetric(last.Energy.TotalMJ(), "total_mJ")
+			b.ReportMetric(last.Delays.ImperceptibleMean*100, "imperc_delay_pct")
+			b.ReportMetric(float64(last.FinalWakeups), "wakeups")
+		})
+	}
+}
+
+// BenchmarkAblationRealign measures the native realignment-on-reinsert
+// behaviour (§2.1: "seeks to further reduce the number of wakeups at a
+// cost of slight computation overhead").
+func BenchmarkAblationRealign(b *testing.B) {
+	for _, off := range []bool{false, true} {
+		name := "on"
+		if off {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := experimentConfig(LightWorkload(), "NATIVE")
+			cfg.DisableRealign = off
+			var last *Result
+			for i := 0; i < b.N; i++ {
+				r, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.ReportMetric(float64(last.FinalWakeups), "wakeups")
+		})
+	}
+}
+
+// BenchmarkAblationDuration compares plain SIMTY against the §5
+// duration-similarity extension on the heavy workload.
+func BenchmarkAblationDuration(b *testing.B) {
+	for _, policy := range []string{"SIMTY", "SIMTY-DUR"} {
+		b.Run(policy, func(b *testing.B) {
+			var last *Result
+			for i := 0; i < b.N; i++ {
+				r, err := Run(experimentConfig(HeavyWorkload(), policy))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.ReportMetric(last.Energy.TotalMJ(), "total_mJ")
+			b.ReportMetric(float64(last.FinalWakeups), "wakeups")
+		})
+	}
+}
+
+// --- Microbenchmarks: the policies' queue-insertion cost. The paper
+// notes realignment costs "slight computation overhead"; these measure
+// the per-insertion price of NATIVE vs SIMTY decision making.
+
+func benchQueueInsert(b *testing.B, p alarm.Policy) {
+	wifi := hw.MakeSet(hw.WiFi)
+	const n = 64
+	mk := func(i int) *alarm.Alarm {
+		return &alarm.Alarm{
+			ID:      fmt.Sprintf("a%d", i),
+			Repeat:  alarm.Static,
+			Nominal: simclock.Time(simclock.Duration(i%17) * 20 * simclock.Second),
+			Period:  600 * simclock.Second,
+			Window:  150 * simclock.Second,
+			Grace:   500 * simclock.Second,
+			HW:      wifi, HWKnown: true,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var q alarm.Queue
+		for j := 0; j < n; j++ {
+			q.Insert(mk(j), p, 0)
+		}
+	}
+}
+
+func BenchmarkQueueInsertNative(b *testing.B) { benchQueueInsert(b, alarm.Native{}) }
+func BenchmarkQueueInsertSimty(b *testing.B)  { benchQueueInsert(b, core.NewSimty()) }
+
+// BenchmarkSimulationThroughput measures raw simulator speed: simulated
+// hours per wall second for the heavy workload under SIMTY.
+func BenchmarkSimulationThroughput(b *testing.B) {
+	cfg := experimentConfig(HeavyWorkload(), "SIMTY")
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimilarity measures the similarity classification primitives.
+func BenchmarkSimilarity(b *testing.B) {
+	a := hw.MakeSet(hw.WiFi, hw.WPS)
+	c := hw.MakeSet(hw.WPS, hw.Accelerometer)
+	for i := 0; i < b.N; i++ {
+		_ = core.HardwareSimilarity(a, c)
+	}
+}
+
+// Sanity checks that the apps alias surface stays wired.
+var _ = apps.Table3

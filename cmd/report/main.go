@@ -1,0 +1,79 @@
+// Command report regenerates every table and figure of the paper's
+// evaluation (§4) and prints them next to the published values.
+//
+// Usage:
+//
+//	report [-experiment all|table1|table3|fig2|fig3|fig4|table4|bounds|ablations]
+//	       [-trials 3] [-seed 1] [-hours 3] [-format text|markdown|csv]
+//
+// Each experiment is run -trials times with consecutive seeds (the paper
+// averages three runs) and the mean is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/simclock"
+)
+
+var (
+	experiment = flag.String("experiment", "all", "which experiment to regenerate (or 'list')")
+	trials     = flag.Int("trials", 3, "trials per configuration (averaged)")
+	seed       = flag.Int64("seed", 1, "base random seed")
+	hours      = flag.Float64("hours", 3, "connected-standby horizon in hours")
+	format     = flag.String("format", "text", "output format: text, markdown, or csv")
+)
+
+func main() {
+	flag.Parse()
+	opts := report.Options{
+		Trials:   *trials,
+		Seed:     *seed,
+		Duration: simclock.Duration(*hours * float64(simclock.Hour)),
+	}
+
+	if *experiment == "list" {
+		for _, e := range report.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+
+	var selected []report.Experiment
+	if *experiment == "all" {
+		selected = report.All()
+	} else {
+		e, ok := report.ByID(*experiment)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -experiment list)\n", *experiment)
+			os.Exit(2)
+		}
+		selected = []report.Experiment{e}
+	}
+
+	for _, e := range selected {
+		t, err := e.Build(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "text":
+			err = t.WriteText(os.Stdout)
+		case "markdown":
+			err = t.WriteMarkdown(os.Stdout)
+		case "csv":
+			err = t.WriteCSV(os.Stdout)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Command tracegen generates synthetic resident-app workloads beyond the
+// paper's Table 3 and prints them as a spec table or runs them directly.
+// It is the tool for studying how the policies scale with the number of
+// resident apps — the paper's introduction expects "increasing the number
+// of resident apps will accelerate battery depletion".
+//
+// Usage:
+//
+//	tracegen [-apps 30] [-seed 1] [-imperceptible 0.9] [-dynamic 0.5]
+//	         [-minperiod 60] [-maxperiod 1800] [-run] [-policy SIMTY] [-hours 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/apps"
+	"repro/internal/hw"
+	"repro/internal/imitate"
+	"repro/internal/sim"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+var (
+	nApps         = flag.Int("apps", 30, "number of synthetic resident apps")
+	seed          = flag.Int64("seed", 1, "random seed")
+	imperceptible = flag.Float64("imperceptible", 0.9, "fraction of imperceptible alarms")
+	dynamicFrac   = flag.Float64("dynamic", 0.5, "fraction of dynamic repeating alarms")
+	minPeriod     = flag.Int("minperiod", 60, "minimum repeating interval (s)")
+	maxPeriod     = flag.Int("maxperiod", 1800, "maximum repeating interval (s)")
+	run           = flag.Bool("run", false, "run the generated workload instead of only printing it")
+	from          = flag.String("from", "", "infer the workload from a JSON trace (wakesim -json) instead of generating one")
+	out           = flag.String("o", "", "write the workload as a JSON spec file (loadable with wakesim -spec)")
+	policy        = flag.String("policy", "SIMTY", "policy used with -run")
+	hours         = flag.Float64("hours", 3, "horizon used with -run")
+)
+
+// Generate builds n synthetic app specs. Exported via the main package
+// only; the generation logic itself is small enough to live here.
+func generate(n int, rng *rand.Rand) []apps.Spec {
+	if *maxPeriod < *minPeriod {
+		fmt.Fprintln(os.Stderr, "maxperiod below minperiod")
+		os.Exit(2)
+	}
+	hwChoices := []struct {
+		set hw.Set
+		dur simclock.Duration
+	}{
+		{hw.MakeSet(hw.WiFi), 2 * simclock.Second},
+		{hw.MakeSet(hw.WPS), 1 * simclock.Second},
+		{hw.MakeSet(hw.Accelerometer), 2 * simclock.Second},
+		{hw.MakeSet(hw.WiFi, hw.WPS), 2 * simclock.Second},
+		{hw.MakeSet(hw.Cellular), 2 * simclock.Second},
+	}
+	perceptible := struct {
+		set hw.Set
+		dur simclock.Duration
+	}{hw.MakeSet(hw.Speaker, hw.Vibrator), simclock.Second}
+
+	specs := make([]apps.Spec, 0, n)
+	for i := 0; i < n; i++ {
+		period := simclock.Duration(*minPeriod+rng.Intn(*maxPeriod-*minPeriod+1)) * simclock.Second
+		alpha := 0.0
+		if rng.Float64() < 0.5 {
+			alpha = 0.75
+		}
+		choice := perceptible
+		if rng.Float64() < *imperceptible {
+			choice = hwChoices[rng.Intn(len(hwChoices))]
+		}
+		specs = append(specs, apps.Spec{
+			Name:    fmt.Sprintf("synth.%02d", i),
+			Period:  period,
+			Alpha:   alpha,
+			Dynamic: rng.Float64() < *dynamicFrac,
+			HW:      choice.set,
+			TaskDur: choice.dur,
+		})
+	}
+	return specs
+}
+
+func main() {
+	flag.Parse()
+	var specs []apps.Spec
+	if *from != "" {
+		f, err := os.Open(*from)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		events, err := trace.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		specs = imitate.Infer(events)
+		fmt.Printf("inferred %d imitated apps from %s\n", len(specs), *from)
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		specs = generate(*nApps, rng)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "app\tReIn(s)\tα\tS/D\thardware\ttask(s)")
+	for _, s := range specs {
+		sd := "S"
+		if s.Dynamic {
+			sd = "D"
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.2f\t%s\t%s\t%.1f\n",
+			s.Name, int64(s.Period/simclock.Second), s.Alpha, sd, s.HW, s.TaskDur.Seconds())
+	}
+	w.Flush()
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := apps.WriteSpecs(f, specs); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("workload written to %s\n", *out)
+	}
+
+	if !*run {
+		return
+	}
+	cmp, err := sim.Compare(sim.Config{
+		Workload:     specs,
+		SystemAlarms: true,
+		Duration:     simclock.Duration(*hours * float64(simclock.Hour)),
+		Seed:         *seed,
+	}, "NATIVE", *policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nNATIVE: %d wakeups, %.0f J, %.1f h standby\n",
+		cmp.Base.FinalWakeups, cmp.Base.Energy.TotalMJ()/1000, cmp.Base.StandbyHours)
+	fmt.Printf("%s: %d wakeups, %.0f J, %.1f h standby\n", cmp.Test.PolicyName,
+		cmp.Test.FinalWakeups, cmp.Test.Energy.TotalMJ()/1000, cmp.Test.StandbyHours)
+	fmt.Printf("total savings %.1f%%, standby extension %.1f%%\n",
+		cmp.TotalSavings()*100, cmp.StandbyExtension()*100)
+}

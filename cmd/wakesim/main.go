@@ -1,0 +1,187 @@
+// Command wakesim runs one connected-standby simulation and prints its
+// summary, optionally exporting the full event trace.
+//
+// Usage:
+//
+//	wakesim [-policy SIMTY] [-workload light|heavy|table3] [-spec file.json]
+//	        [-hours 3] [-beta 0.96] [-seed 1] [-system] [-oneshots 6]
+//	        [-trace out.csv] [-json out.json] [-timeline MIN] [-anomaly]
+//	        [-toempty] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/anomaly"
+	"repro/internal/apps"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+var (
+	policy    = flag.String("policy", "SIMTY", "alignment policy (NATIVE, NOALIGN, SIMTY, SIMTY-hw2, SIMTY-hw4, SIMTY-DUR)")
+	workload  = flag.String("workload", "heavy", "workload: light, heavy, or table3")
+	specFile  = flag.String("spec", "", "load the workload from a JSON spec file instead (see cmd/tracegen -o)")
+	hours     = flag.Float64("hours", 3, "standby horizon in hours")
+	beta      = flag.Float64("beta", sim.DefaultBeta, "grace factor β")
+	seed      = flag.Int64("seed", 1, "random seed")
+	system    = flag.Bool("system", true, "install background system alarms")
+	oneshots  = flag.Int("oneshots", 6, "number of sporadic one-shot alarms")
+	traceCSV  = flag.String("trace", "", "write the event trace as CSV to this file")
+	traceJSON = flag.String("json", "", "write the event trace as JSON to this file")
+	detect    = flag.Bool("anomaly", false, "scan the run for no-sleep energy bugs")
+	toEmpty   = flag.Bool("toempty", false, "simulate from full battery until empty (measures standby time directly)")
+	timeline  = flag.Int("timeline", 0, "render the first N minutes as an ASCII timeline")
+	verbose   = flag.Bool("v", false, "print per-app delivery counts")
+)
+
+func main() {
+	flag.Parse()
+	var specs []apps.Spec
+	if *specFile != "" {
+		f, err := os.Open(*specFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		specs, err = apps.ReadSpecs(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		*workload = *specFile
+	} else {
+		switch *workload {
+		case "light":
+			specs = apps.LightWorkload()
+		case "heavy", "table3":
+			specs = apps.HeavyWorkload()
+		default:
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+	}
+
+	cfg := sim.Config{
+		Name:         *workload,
+		Policy:       *policy,
+		Workload:     specs,
+		SystemAlarms: *system,
+		OneShots:     *oneshots,
+		Duration:     simclock.Duration(*hours * float64(simclock.Hour)),
+		Beta:         *beta,
+		Seed:         *seed,
+		CollectTrace: *traceCSV != "" || *traceJSON != "" || *detect || *timeline > 0,
+	}
+	if *toEmpty {
+		d, err := sim.RunToEmpty(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("policy %s, workload %s: battery empty after %.1f h (%d wakeups)\n",
+			d.PolicyName, *workload, d.StandbyHours, d.Wakeups)
+		return
+	}
+
+	r, err := sim.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("policy %s, workload %s, %.1f h, β=%.2f, seed %d\n",
+		r.PolicyName, *workload, *hours, cfg.Beta, *seed)
+	fmt.Printf("energy: %s\n", r.Energy.String())
+	fmt.Printf("average power %.1f mW → projected standby %.1f h\n",
+		r.Energy.AveragePowerMW(), r.StandbyHours)
+	fmt.Printf("wakeups %d for %d deliveries (%.1f deliveries/wakeup)\n",
+		r.FinalWakeups, len(r.Records), float64(len(r.Records))/float64(max(1, r.FinalWakeups)))
+	fmt.Printf("delays: perceptible %.3f%%, imperceptible %.2f%% (apps only)\n",
+		r.Delays.PerceptibleMean*100, r.Delays.ImperceptibleMean*100)
+	if gaps := metrics.WakeupGaps(r.Records); gaps.N > 0 {
+		fmt.Printf("wakeup spacing: min %v, mean %.1fs, max %v\n", gaps.Min, gaps.Mean, gaps.Max)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "hardware\twakeups/expected\tratio")
+	fmt.Fprintf(w, "CPU\t%s\t%.2f\n", r.Wakeups.CPU, r.Wakeups.CPU.Ratio())
+	fmt.Fprintf(w, "Speaker&Vibrator\t%s\t%.2f\n", r.SpkVib, r.SpkVib.Ratio())
+	for _, c := range []hw.Component{hw.WiFi, hw.WPS, hw.Accelerometer} {
+		row := r.Wakeups.Component[c]
+		if row.Expected == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.2f\n", c, row, row.Ratio())
+	}
+	w.Flush()
+
+	if *verbose {
+		fmt.Println("\ndeliveries per app:")
+		counts := metrics.CountByApp(r.Records)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		for _, s := range specs {
+			fmt.Fprintf(w, "%s\t%d\n", s.Name, counts[s.Name])
+		}
+		w.Flush()
+	}
+
+	if *timeline > 0 {
+		to := simclock.Time(simclock.Duration(*timeline) * simclock.Minute)
+		if to > simclock.Time(cfg.Duration) {
+			to = simclock.Time(cfg.Duration)
+		}
+		fmt.Println()
+		fmt.Print(trace.Timeline(r.Trace.Events(), 0, to, 100))
+	}
+
+	if *detect {
+		findings := (&anomaly.Detector{}).Analyze(r.Trace.Events(), simclock.Time(r.Config.Duration))
+		if len(findings) == 0 {
+			fmt.Println("\nanomaly scan: clean — no suspicious wakelock holds")
+		} else {
+			fmt.Printf("\nanomaly scan: %d finding(s)\n", len(findings))
+			for _, f := range findings {
+				fmt.Printf("  %s\n", f)
+			}
+		}
+	}
+
+	if *traceCSV != "" {
+		if err := writeFile(*traceCSV, func(f *os.File) error { return r.Trace.WriteCSV(f) }); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (%d events)\n", *traceCSV, len(r.Trace.Events()))
+	}
+	if *traceJSON != "" {
+		if err := writeFile(*traceJSON, func(f *os.File) error { return r.Trace.WriteJSON(f) }); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", *traceJSON)
+	}
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fn(f)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

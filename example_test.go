@@ -1,0 +1,67 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Compare the paper's two policies on the light workload and print the
+// headline savings.
+func Example() {
+	cmp, err := repro.Compare(repro.Config{
+		Workload:     repro.LightWorkload(),
+		SystemAlarms: true,
+		Seed:         1,
+	}, "NATIVE", "SIMTY")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("SIMTY extends standby by %.0f%%\n", cmp.StandbyExtension()*100)
+	// Output: SIMTY extends standby by 31%
+}
+
+// Run a single policy and inspect the wakeup breakdown.
+func ExampleRun() {
+	r, err := repro.Run(repro.Config{
+		Workload: repro.HeavyWorkload(),
+		Policy:   "SIMTY",
+		Seed:     1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d wakeups for %d deliveries\n", r.FinalWakeups, len(r.Records))
+	// Output: 192 wakeups for 860 deliveries
+}
+
+// Reproduce the paper's Figure 2 example.
+func ExampleMotivating() {
+	native, _ := repro.Motivating("NATIVE")
+	simty, _ := repro.Motivating("SIMTY")
+	fmt.Printf("NATIVE batches %v\n", native.Batches)
+	fmt.Printf("SIMTY batches %v\n", simty.Batches)
+	// Output:
+	// NATIVE batches [[calendar loc2] [loc1]]
+	// SIMTY batches [[calendar] [loc1 loc2]]
+}
+
+// Define a custom alignment policy and plug it into the simulator.
+func ExampleConfig_custom() {
+	r, err := repro.Run(repro.Config{
+		Workload: repro.LightWorkload(),
+		Custom:   standalone{},
+		Seed:     1,
+		Duration: repro.Hour,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(r.PolicyName)
+	// Output: standalone
+}
+
+type standalone struct{}
+
+func (standalone) Name() string                                        { return "standalone" }
+func (standalone) Select([]*repro.Entry, *repro.Alarm, repro.Time) int { return -1 }

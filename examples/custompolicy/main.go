@@ -1,0 +1,81 @@
+// Custompolicy shows how to implement a new alignment policy against the
+// public Policy interface and evaluate it with the simulator.
+//
+// The example policy, LASTFIT, keeps SIMTY's user-experience search rule
+// (perceptible alarms stay within their windows, imperceptible ones
+// within their graces) but replaces the Table 1 selection with "join the
+// latest applicable entry" — maximizing postponement instead of hardware
+// similarity. Comparing it against SIMTY isolates how much of the win
+// comes from similarity-aware selection rather than from postponement
+// alone.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+	"repro/internal/core"
+)
+
+// LastFit joins the applicable entry with the latest delivery time.
+type LastFit struct{}
+
+// Name implements repro.Policy.
+func (LastFit) Name() string { return "LASTFIT" }
+
+// Select implements repro.Policy.
+func (LastFit) Select(entries []*repro.Entry, a *repro.Alarm, _ repro.Time) int {
+	best := -1
+	var bestAt repro.Time = -1
+	for i, e := range entries {
+		// Reuse the paper's search-phase rule so the user-experience
+		// guarantees keep holding.
+		if !core.Applicable(a, e) {
+			continue
+		}
+		if at := e.DeliveryTime(); at > bestAt {
+			best, bestAt = i, at
+		}
+	}
+	return best
+}
+
+func main() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "policy\twakeups\ttotal (J)\tstandby (h)\timperc delay (%)")
+
+	base := repro.Config{
+		Workload:     repro.HeavyWorkload(),
+		SystemAlarms: true,
+		Seed:         1,
+	}
+
+	for _, p := range []struct {
+		name   string
+		custom repro.Policy
+	}{
+		{"NATIVE", nil},
+		{"SIMTY", nil},
+		{"LASTFIT", LastFit{}},
+	} {
+		cfg := base
+		cfg.Policy = p.name
+		cfg.Custom = p.custom
+		r, err := repro.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.1f\t%.2f\n",
+			r.PolicyName, r.FinalWakeups, r.Energy.TotalMJ()/1000,
+			r.StandbyHours, r.Delays.ImperceptibleMean*100)
+	}
+	w.Flush()
+	fmt.Println("\nLASTFIT postpones as far as SIMTY but ignores hardware similarity, so")
+	fmt.Println("the gap between the two isolates similarity-aware selection. On dense")
+	fmt.Println("workloads the two often tie — most late applicable entries already hold")
+	fmt.Println("identical hardware — while Figure-2-like snapshots (see the motivating")
+	fmt.Println("example) show where the similarity rule avoids paying a second scan.")
+}

@@ -1,0 +1,59 @@
+// Dayinlife composes the simulator's pieces into a realistic 24-hour
+// scenario: 16 waking hours with occasional screen sessions and incoming
+// push messages, 8 night hours of pure connected standby — the usage
+// pattern behind the paper's motivation study ([9]: smartphones sit in
+// standby 89% of the time and standby burns 46.3% of daily energy).
+//
+// The output is what a user actually feels: how many days the battery
+// lasts under each alignment policy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+)
+
+func segment(policy string, hours float64, screenPerHour, pushesPerHour float64, seed int64) *repro.Result {
+	r, err := repro.Run(repro.Config{
+		Workload:              repro.HeavyWorkload(),
+		SystemAlarms:          true,
+		Policy:                policy,
+		Duration:              repro.Duration(hours * float64(repro.Hour)),
+		ScreenSessionsPerHour: screenPerHour,
+		PushesPerHour:         pushesPerHour,
+		Seed:                  seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}
+
+func main() {
+	profile := repro.Nexus5()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "policy\tday (J)\tnight (J)\tdaily total (J)\tbattery lasts")
+
+	fmt.Println("A day in the life: 16 h day (4 screen sessions/h, 6 pushes/h) + 8 h night")
+	fmt.Println()
+	for _, policy := range []string{"NOALIGN", "NATIVE", "SIMTY"} {
+		day := segment(policy, 16, 4, 6, 1)
+		night := segment(policy, 8, 0, 0, 2)
+		dayJ := day.Energy.TotalMJ() / 1000
+		nightJ := night.Energy.TotalMJ() / 1000
+		dailyMJ := day.Energy.TotalMJ() + night.Energy.TotalMJ()
+		days := profile.BatteryMJ / dailyMJ
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.0f\t%.1f days\n", policy, dayJ, nightJ, dailyMJ/1000, days)
+	}
+	w.Flush()
+
+	fmt.Println()
+	fmt.Println("Alarm alignment cannot touch the screen-on and push energy, so the")
+	fmt.Println("relative gap narrows against a day of active use — but over a real")
+	fmt.Println("day SIMTY still buys a meaningful fraction of a day of battery life,")
+	fmt.Println("which is the paper's point: standby waste is large enough to matter.")
+}

@@ -1,0 +1,38 @@
+// Motivating example (paper §2.2, Figure 2): an alarm queue holds a
+// calendar alarm (speaker & vibrator, ~400 mJ per delivery) and one WPS
+// location alarm (~3,650 mJ). A second WPS alarm is inserted whose window
+// overlaps the calendar alarm but whose grace interval reaches the other
+// location alarm.
+//
+// Android's native policy batches by window overlap, pairing the new WPS
+// alarm with the calendar notification — two expensive WPS scans still
+// run separately (paper: 7,520 mJ). The similarity-based policy tolerates
+// a longer postponement so the two WPS alarms share one scan (paper:
+// 4,050 mJ).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	fmt.Println("Figure 2 — three alarms, two alignments:")
+	fmt.Println()
+	for _, policy := range []string{"NATIVE", "SIMTY"} {
+		r, err := repro.Motivating(policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-7s delivers %v\n", r.PolicyName, r.Batches)
+		fmt.Printf("        %d wakeups, %.0f mJ for the three alarms\n\n", r.Wakeups, r.AlarmsMJ)
+	}
+
+	native, _ := repro.Motivating("NATIVE")
+	simty, _ := repro.Motivating("SIMTY")
+	fmt.Printf("similarity-based alignment saves %.0f mJ (%.0f%%) on this snapshot\n",
+		native.AlarmsMJ-simty.AlarmsMJ, (1-simty.AlarmsMJ/native.AlarmsMJ)*100)
+	fmt.Println("(paper: 7,520 mJ vs 4,050 mJ — a 46% reduction)")
+}

@@ -1,0 +1,109 @@
+// Sweep explores the two scaling dimensions the paper motivates but does
+// not plot: the grace factor β (how far imperceptible alarms may be
+// postponed) and the number of resident apps (the introduction expects
+// more resident apps to accelerate battery depletion).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+	"repro/internal/alarm"
+	"repro/internal/simclock"
+)
+
+func bar(frac float64, width int) string {
+	n := int(frac*float64(width) + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+func main() {
+	fmt.Println("β sweep — energy saved vs NATIVE and imperceptible delay (light workload)")
+	fmt.Println()
+	for _, beta := range []float64{0.75, 0.80, 0.85, 0.90, 0.96} {
+		cfg := repro.Config{
+			Workload:     repro.LightWorkload(),
+			SystemAlarms: true,
+			Seed:         1,
+			Beta:         beta,
+		}
+		cmp, err := repro.Compare(cfg, "NATIVE", "SIMTY")
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := cmp.TotalSavings()
+		d := cmp.Test.Delays.ImperceptibleMean
+		fmt.Printf("  β=%.2f  savings %5.1f%% |%s|  delay %5.1f%% |%s|\n",
+			beta, s*100, bar(s/0.4, 24), d*100, bar(d, 24))
+	}
+
+	fmt.Println()
+	fmt.Println("app-count sweep — duplicating the Wi-Fi app population (SIMTY vs NATIVE)")
+	fmt.Println()
+	for _, copies := range []int{1, 2, 3, 4} {
+		var specs []repro.AppSpec
+		for c := 0; c < copies; c++ {
+			for _, s := range repro.LightWorkload() {
+				s2 := s
+				if c > 0 {
+					s2.Name = fmt.Sprintf("%s#%d", s.Name, c)
+				}
+				specs = append(specs, s2)
+			}
+		}
+		cfg := repro.Config{Workload: specs, SystemAlarms: true, Seed: 1}
+		cmp, err := repro.Compare(cfg, "NATIVE", "SIMTY")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %2d apps: NATIVE %5.1f h standby, SIMTY %5.1f h (+%.0f%%), wakeups %d → %d\n",
+			len(specs), cmp.Base.StandbyHours, cmp.Test.StandbyHours,
+			cmp.StandbyExtension()*100, cmp.Base.FinalWakeups, cmp.Test.FinalWakeups)
+	}
+	fmt.Println()
+	fmt.Println("More resident apps drain the battery faster under both policies, but")
+	fmt.Println("SIMTY's advantage grows: a denser queue offers more similar alarms to align.")
+
+	fmt.Println()
+	fmt.Println("policy frontier — energy saved vs worst-case user impact (heavy workload)")
+	fmt.Println()
+	base, err := repro.Run(repro.Config{Workload: repro.HeavyWorkload(), SystemAlarms: true, Seed: 1, Policy: "NATIVE"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	frontier := []struct {
+		name   string
+		policy string
+		custom repro.Policy
+	}{
+		{"SIMTY", "SIMTY", nil},
+		{"DOZE 5 min", "", alarm.Doze{Window: 5 * simclock.Minute}},
+		{"DOZE 15 min", "", alarm.Doze{Window: 15 * simclock.Minute}},
+		{"INTERVAL 5 min", "", alarm.Interval{Grid: 5 * simclock.Minute}},
+		{"INTERVAL 15 min", "", alarm.Interval{Grid: 15 * simclock.Minute}},
+	}
+	for _, f := range frontier {
+		cfg := repro.Config{Workload: repro.HeavyWorkload(), SystemAlarms: true, Seed: 1,
+			Policy: f.policy, Custom: f.custom}
+		r, err := repro.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		savings := 1 - r.Energy.TotalMJ()/base.Energy.TotalMJ()
+		fmt.Printf("  %-16s savings %5.1f%% |%s|  imperc delay %6.1f%%  perc delay %5.2f%%\n",
+			f.name, savings*100, bar(savings/0.6, 20),
+			r.Delays.ImperceptibleMean*100, r.Delays.PerceptibleMean*100)
+	}
+	fmt.Println()
+	fmt.Println("Only SIMTY combines double-digit savings with zero perceptible delay and")
+	fmt.Println("bounded imperceptible postponement — the paper's similarity rules are the")
+	fmt.Println("piece the blunter schemes are missing.")
+}

@@ -1,0 +1,254 @@
+package alarm
+
+import (
+	"sort"
+
+	"repro/internal/simclock"
+)
+
+// Policy decides which queue entry a newly inserted alarm should join.
+// Android's native policy and the paper's SIMTY (internal/core) both
+// implement it.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Select returns the index into entries of the entry the alarm
+	// should be placed in, or -1 to create a new entry. entries is in
+	// queue (delivery-time) order.
+	Select(entries []*Entry, a *Alarm, now simclock.Time) int
+}
+
+// Native is Android ≥4.4's alignment policy (§2.1): scan the queue in
+// order and place the alarm in the first entry whose window interval
+// overlaps the alarm's window interval. Exact alarms (zero window) are
+// standalone, as in Android's AlarmManagerService: they get their own
+// batch and other alarms never coalesce into it.
+type Native struct{}
+
+// Name implements Policy.
+func (Native) Name() string { return "NATIVE" }
+
+// Select implements Policy.
+func (Native) Select(entries []*Entry, a *Alarm, _ simclock.Time) int {
+	if a.Window == 0 {
+		return -1
+	}
+	for i, e := range entries {
+		if e.HasExact() {
+			continue
+		}
+		if e.WindowOverlaps(a.Nominal, a.WindowEnd()) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Interval is the "immediate remedy" the paper's introduction cites
+// (ref [5]): awaken the device only on a fixed time grid by forcibly
+// aligning all background activities that fall within the same grid
+// interval, regardless of their window or grace attributes. It trades
+// user experience away bluntly — perceptible alarms can be postponed past
+// their windows — which is exactly the defect SIMTY's similarity rules
+// repair.
+type Interval struct {
+	// Grid is the alignment interval. Zero means the 5-minute default.
+	Grid simclock.Duration
+}
+
+// DefaultIntervalGrid is the grid used when Interval.Grid is zero.
+const DefaultIntervalGrid = 300 * simclock.Second
+
+func (p Interval) grid() simclock.Duration {
+	if p.Grid <= 0 {
+		return DefaultIntervalGrid
+	}
+	return p.Grid
+}
+
+// Name implements Policy.
+func (p Interval) Name() string { return "INTERVAL" }
+
+// Select implements Policy: join the entry occupying the alarm's grid
+// slot, if any.
+func (p Interval) Select(entries []*Entry, a *Alarm, _ simclock.Time) int {
+	g := simclock.Time(p.grid())
+	slot := a.Nominal / g
+	for i, e := range entries {
+		if e.DeliveryTime()/g == slot {
+			return i
+		}
+	}
+	return -1
+}
+
+// Doze approximates the maintenance-window scheme Android 6 shipped the
+// year before the paper appeared: perceptible and exact alarms keep the
+// native rules (they are what setAndAllowWhileIdle / setAlarmClock
+// protect), while every imperceptible windowed alarm is deferred into
+// fixed maintenance windows regardless of its window or grace interval.
+// It is the paper's SIMTY with the similarity rules ripped out — a
+// useful foil: more energy saved, but the §3.2.2 periodicity guarantees
+// no longer hold.
+type Doze struct {
+	// Window is the maintenance-window spacing. Zero means 15 minutes.
+	Window simclock.Duration
+}
+
+// DefaultDozeWindow is used when Doze.Window is zero.
+const DefaultDozeWindow = 15 * simclock.Minute
+
+func (p Doze) window() simclock.Duration {
+	if p.Window <= 0 {
+		return DefaultDozeWindow
+	}
+	return p.Window
+}
+
+// Name implements Policy.
+func (p Doze) Name() string { return "DOZE" }
+
+// Select implements Policy.
+func (p Doze) Select(entries []*Entry, a *Alarm, now simclock.Time) int {
+	if a.Perceptible() {
+		// Fall back to the native rules for user-visible alarms.
+		return Native{}.Select(entries, a, now)
+	}
+	g := simclock.Time(p.window())
+	slot := a.Nominal / g
+	for i, e := range entries {
+		if e.Perceptible {
+			continue
+		}
+		if e.DeliveryTime()/g == slot {
+			return i
+		}
+	}
+	return -1
+}
+
+// NoAlign never batches: every alarm gets its own entry. It provides the
+// "expected number of wakeups if no alignment policy is applied"
+// baseline of Table 4.
+type NoAlign struct{}
+
+// Name implements Policy.
+func (NoAlign) Name() string { return "NOALIGN" }
+
+// Select implements Policy.
+func (NoAlign) Select([]*Entry, *Alarm, simclock.Time) int { return -1 }
+
+// Queue is an ordered list of entries, sorted by delivery time (ties
+// keep insertion order, matching the "first found" rule).
+type Queue struct {
+	entries []*Entry
+}
+
+// Entries exposes the entries in queue order. Callers must not mutate.
+func (q *Queue) Entries() []*Entry { return q.entries }
+
+// Len reports the number of entries.
+func (q *Queue) Len() int { return len(q.entries) }
+
+// AlarmCount reports the total number of queued alarms.
+func (q *Queue) AlarmCount() int {
+	n := 0
+	for _, e := range q.entries {
+		n += e.Len()
+	}
+	return n
+}
+
+// Alarms returns all queued alarms in entry order.
+func (q *Queue) Alarms() []*Alarm {
+	var as []*Alarm
+	for _, e := range q.entries {
+		as = append(as, e.Alarms...)
+	}
+	return as
+}
+
+// Insert places the alarm according to the policy and returns the entry
+// it landed in.
+func (q *Queue) Insert(a *Alarm, p Policy, now simclock.Time) *Entry {
+	idx := p.Select(q.entries, a, now)
+	var e *Entry
+	if idx >= 0 {
+		if idx >= len(q.entries) {
+			panic("alarm: policy selected entry out of range")
+		}
+		e = q.entries[idx]
+		e.add(a)
+	} else {
+		e = newEntry(a)
+		q.entries = append(q.entries, e)
+	}
+	q.sortByDelivery()
+	return e
+}
+
+// Remove deletes the alarm with the given ID wherever it is queued and
+// returns it, or nil if absent. Entries left empty are dropped.
+func (q *Queue) Remove(id string) *Alarm {
+	for i, e := range q.entries {
+		for _, a := range e.Alarms {
+			if a.ID == id {
+				e.remove(id)
+				if e.Len() == 0 {
+					q.entries = append(q.entries[:i], q.entries[i+1:]...)
+				}
+				q.sortByDelivery()
+				return a
+			}
+		}
+	}
+	return nil
+}
+
+// Find returns the queued alarm with the given ID, or nil.
+func (q *Queue) Find(id string) *Alarm {
+	for _, e := range q.entries {
+		for _, a := range e.Alarms {
+			if a.ID == id {
+				return a
+			}
+		}
+	}
+	return nil
+}
+
+// Head returns the entry with the earliest delivery time, or nil.
+func (q *Queue) Head() *Entry {
+	if len(q.entries) == 0 {
+		return nil
+	}
+	return q.entries[0]
+}
+
+// PopDue removes and returns all entries whose delivery time is ≤ now,
+// in delivery order.
+func (q *Queue) PopDue(now simclock.Time) []*Entry {
+	n := 0
+	for n < len(q.entries) && q.entries[n].DeliveryTime() <= now {
+		n++
+	}
+	due := q.entries[:n:n]
+	q.entries = q.entries[n:]
+	return due
+}
+
+// Clear removes every entry and returns the alarms that were queued, in
+// nominal-delivery-time order (the order the realignment path reinserts
+// them, §2.1).
+func (q *Queue) Clear() []*Alarm {
+	as := q.Alarms()
+	q.entries = nil
+	sort.SliceStable(as, func(i, j int) bool { return as[i].Nominal < as[j].Nominal })
+	return as
+}
+
+func (q *Queue) sortByDelivery() {
+	sort.SliceStable(q.entries, func(i, j int) bool {
+		return q.entries[i].DeliveryTime() < q.entries[j].DeliveryTime()
+	})
+}

@@ -1,0 +1,95 @@
+package apps
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/hw"
+	"repro/internal/simclock"
+)
+
+// specJSON is the on-disk form of a Spec: durations in seconds (the unit
+// Table 3 uses), hardware as component names.
+type specJSON struct {
+	Name       string   `json:"name"`
+	PeriodS    float64  `json:"period_s"`
+	Alpha      float64  `json:"alpha"`
+	Dynamic    bool     `json:"dynamic"`
+	HW         []string `json:"hw"`
+	TaskDurS   float64  `json:"task_s"`
+	Imitated   bool     `json:"imitated,omitempty"`
+	System     bool     `json:"system,omitempty"`
+	NonWakeup  bool     `json:"non_wakeup,omitempty"`
+	NoSleepBug bool     `json:"no_sleep_bug,omitempty"`
+}
+
+// WriteSpecs serializes a workload as indented JSON.
+func WriteSpecs(w io.Writer, specs []Spec) error {
+	out := make([]specJSON, len(specs))
+	for i, s := range specs {
+		names := []string{}
+		for _, c := range s.HW.Components() {
+			names = append(names, c.String())
+		}
+		out[i] = specJSON{
+			Name:       s.Name,
+			PeriodS:    s.Period.Seconds(),
+			Alpha:      s.Alpha,
+			Dynamic:    s.Dynamic,
+			HW:         names,
+			TaskDurS:   s.TaskDur.Seconds(),
+			Imitated:   s.Imitated,
+			System:     s.System,
+			NonWakeup:  s.NonWakeup,
+			NoSleepBug: s.NoSleepBug,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadSpecs parses a workload file written by WriteSpecs (or by hand)
+// and validates each spec.
+func ReadSpecs(r io.Reader) ([]Spec, error) {
+	var raw []specJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("apps: decode workload: %w", err)
+	}
+	specs := make([]Spec, 0, len(raw))
+	for i, j := range raw {
+		if j.Name == "" {
+			return nil, fmt.Errorf("apps: spec %d: empty name", i)
+		}
+		if j.PeriodS <= 0 {
+			return nil, fmt.Errorf("apps: spec %q: non-positive period", j.Name)
+		}
+		if j.Alpha < 0 || j.Alpha >= 1 {
+			return nil, fmt.Errorf("apps: spec %q: alpha %v outside [0,1)", j.Name, j.Alpha)
+		}
+		if j.TaskDurS < 0 {
+			return nil, fmt.Errorf("apps: spec %q: negative task duration", j.Name)
+		}
+		var set = Spec{
+			Name:       j.Name,
+			Period:     simclock.Duration(j.PeriodS * float64(simclock.Second)),
+			Alpha:      j.Alpha,
+			Dynamic:    j.Dynamic,
+			TaskDur:    simclock.Duration(j.TaskDurS * float64(simclock.Second)),
+			Imitated:   j.Imitated,
+			System:     j.System,
+			NonWakeup:  j.NonWakeup,
+			NoSleepBug: j.NoSleepBug,
+		}
+		for _, n := range j.HW {
+			c, err := hw.ParseComponent(n)
+			if err != nil {
+				return nil, fmt.Errorf("apps: spec %q: %w", j.Name, err)
+			}
+			set.HW = set.HW.Union(hw.MakeSet(c))
+		}
+		specs = append(specs, set)
+	}
+	return specs, nil
+}

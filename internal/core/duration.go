@@ -1,0 +1,73 @@
+package core
+
+import (
+	"repro/internal/alarm"
+	"repro/internal/simclock"
+)
+
+// DurationSimty is the extension the paper proposes in its concluding
+// remarks (§5): among entries of equal Table 1 preferability, prefer the
+// one whose members wakelock their hardware for the most similar amount
+// of time, so that overlapped powered intervals waste the least energy.
+// It requires the wakelocking duration to be declared at registration
+// (alarm.Alarm.DeclaredDur), which the paper notes would need a change to
+// Android's registration API — our simulated substrate simply carries the
+// attribute.
+type DurationSimty struct {
+	Simty
+}
+
+// NewDurationSimty returns the duration-aware SIMTY extension with
+// three-level hardware similarity.
+func NewDurationSimty() *DurationSimty { return &DurationSimty{Simty{HW: ThreeLevel{}}} }
+
+// Name implements alarm.Policy.
+func (d *DurationSimty) Name() string { return "SIMTY-DUR" }
+
+// DurationDissimilarity scores how unlike the alarm's declared
+// wakelocking duration is from the entry members' mean declared duration:
+// 0 means identical, 1 means maximally different or undeclared.
+func DurationDissimilarity(a *alarm.Alarm, e *alarm.Entry) float64 {
+	if a.DeclaredDur <= 0 || e.Len() == 0 {
+		return 1
+	}
+	var sum simclock.Duration
+	n := 0
+	for _, m := range e.Alarms {
+		if m.DeclaredDur > 0 {
+			sum += m.DeclaredDur
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(n)
+	da := float64(a.DeclaredDur)
+	lo, hi := da, mean
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi == 0 {
+		return 1
+	}
+	return 1 - lo/hi
+}
+
+// Select implements alarm.Policy: Table 1 rank first, duration
+// dissimilarity as the secondary criterion, first-found breaking exact
+// ties.
+func (d *DurationSimty) Select(entries []*alarm.Entry, a *alarm.Alarm, _ simclock.Time) int {
+	best, bestRank, bestDis := -1, Inapplicable, 2.0
+	for i, e := range entries {
+		r := d.rank(a, e)
+		if r == Inapplicable {
+			continue
+		}
+		dis := DurationDissimilarity(a, e)
+		if r < bestRank || (r == bestRank && dis < bestDis) {
+			best, bestRank, bestDis = i, r, dis
+		}
+	}
+	return best
+}

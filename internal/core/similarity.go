@@ -1,0 +1,118 @@
+// Package core implements the paper's primary contribution: alarm
+// similarity (§3.1) and the SIMTY similarity-based alignment policy
+// (§3.2), plus the classification variants the paper sketches (two- and
+// four-level hardware similarity, §3.1.1) and the duration-similarity
+// extension proposed as future work (§5).
+package core
+
+import (
+	"repro/internal/alarm"
+	"repro/internal/hw"
+)
+
+// Level is a similarity level: the paper classifies both hardware and
+// time similarity into high, medium, and low (§3.1).
+type Level uint8
+
+const (
+	// Low similarity: disjoint hardware sets (or unknown behaviour), or
+	// neither window nor grace intervals overlap.
+	Low Level = iota
+	// Medium similarity: partially identical hardware sets, or grace
+	// (but not window) intervals overlap.
+	Medium
+	// High similarity: identical non-empty hardware sets, or window
+	// intervals overlap.
+	High
+)
+
+func (l Level) String() string {
+	switch l {
+	case High:
+		return "high"
+	case Medium:
+		return "medium"
+	case Low:
+		return "low"
+	}
+	return "Level(?)"
+}
+
+// HardwareSimilarity classifies two hardware sets (§3.1.1): high if the
+// sets are completely identical and not empty; medium if both are
+// non-empty and partially identical (they share some but not all
+// components); low otherwise. Aligning two alarms of high hardware
+// similarity nearly halves their energy (shared activation, overlapped
+// powered time); low similarity saves only the bare wakeup.
+func HardwareSimilarity(a, b hw.Set) Level {
+	switch {
+	case a == b && !a.Empty():
+		return High
+	case !a.Empty() && !b.Empty() && a.Intersects(b):
+		return Medium
+	default:
+		return Low
+	}
+}
+
+// TimeSimilarity classifies an alarm against a queue entry (§3.1.2):
+// high if the alarm's window interval overlaps the entry's window
+// interval; medium if their grace intervals (but not windows) overlap;
+// low otherwise. The entry's intervals are the intersections of its
+// members' intervals (§3.2.1).
+func TimeSimilarity(a *alarm.Alarm, e *alarm.Entry) Level {
+	if e.WindowOverlaps(a.Nominal, a.WindowEnd()) {
+		return High
+	}
+	if e.GraceOverlaps(a.Nominal, a.GraceEnd()) {
+		return Medium
+	}
+	return Low
+}
+
+// Applicable implements the search phase rule (§3.2.1): if either the
+// alarm or the entry is perceptible, the entry is applicable only under
+// high time similarity (every perceptible alarm must stay within its
+// window); if both are imperceptible, high or medium suffices (grace
+// delivery is acceptable).
+func Applicable(a *alarm.Alarm, e *alarm.Entry) bool {
+	ts := TimeSimilarity(a, e)
+	if a.Perceptible() || e.Perceptible {
+		return ts == High
+	}
+	return ts == High || ts == Medium
+}
+
+// Inapplicable is the ∞ preferability of Table 1.
+const Inapplicable = int(^uint(0) >> 1) // MaxInt
+
+// Rank returns the Table 1 preferability of aligning into an entry with
+// the given hardware and time similarity: 1 is most preferable, larger
+// is less, Inapplicable (∞) means the entry must not be used. Hardware
+// similarity dominates; time similarity breaks ties:
+//
+//	              HW high   HW medium   HW low
+//	time high        1          3          5
+//	time medium      2          4          6
+//	time low         ∞          ∞          ∞
+func Rank(hwSim, timeSim Level) int {
+	var row int
+	switch timeSim {
+	case High:
+		row = 0
+	case Medium:
+		row = 1
+	default:
+		return Inapplicable
+	}
+	var col int
+	switch hwSim {
+	case High:
+		col = 0
+	case Medium:
+		col = 1
+	default:
+		col = 2
+	}
+	return 1 + col*2 + row
+}

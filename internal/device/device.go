@@ -1,0 +1,219 @@
+// Package device simulates the mobile device the alarm manager runs on:
+// the asleep/awake state machine with its wake transition cost and
+// latency, per-component task execution with serialized access to each
+// hardware component, and the automatic return to sleep once the device
+// is idle. It implements alarm.Host.
+package device
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hw"
+	"repro/internal/power"
+	"repro/internal/simclock"
+)
+
+type state uint8
+
+const (
+	asleep state = iota
+	waking
+	awake
+)
+
+// Device is the simulated phone. It owns the wakelock manager and the
+// power accountant so that every energy effect of a policy decision is
+// captured in one place.
+type Device struct {
+	clock   *simclock.Clock
+	profile *power.Profile
+	acct    *power.Accountant
+	wl      *hw.WakelockManager
+	rng     *rand.Rand
+
+	st      state
+	session int
+
+	onWake  []func()
+	pending []func()
+
+	// nextFree serializes access per component: two tasks needing the
+	// same component run back to back (each transfers its own data),
+	// while tasks on different components proceed in parallel.
+	nextFree [hw.NumComponents]simclock.Time
+
+	tasksActive int
+	sleepTimer  *simclock.Event
+
+	// onTask, when set, observes task lifecycle: it is called with
+	// start=true when a task's wakelocks are acquired and start=false
+	// when they are released. The tag identifies the task's owner, like
+	// an Android wakelock tag.
+	onTask func(tag string, set hw.Set, start bool)
+}
+
+// New creates a sleeping device with the given power profile. The seed
+// drives the stochastic wake latency.
+func New(clock *simclock.Clock, profile *power.Profile, seed int64) *Device {
+	if clock == nil || profile == nil {
+		panic("device: New with nil clock or profile")
+	}
+	d := &Device{
+		clock:   clock,
+		profile: profile,
+		acct:    power.NewAccountant(clock, profile),
+		wl:      hw.NewWakelockManager(),
+		rng:     simclock.Rand(seed),
+	}
+	d.wl.Subscribe(d.acct)
+	return d
+}
+
+// Accountant exposes the device's energy accountant.
+func (d *Device) Accountant() *power.Accountant { return d.acct }
+
+// Wakelocks exposes the device's wakelock manager (for trace hooks).
+func (d *Device) Wakelocks() *hw.WakelockManager { return d.wl }
+
+// Profile returns the power profile in use.
+func (d *Device) Profile() *power.Profile { return d.profile }
+
+// Awake implements alarm.Host: true once the wake transition completed.
+func (d *Device) Awake() bool { return d.st == awake }
+
+// Session implements alarm.Host: the identifier of the current (or most
+// recent) awake session. Sessions are numbered from 1.
+func (d *Device) Session() int { return d.session }
+
+// Wakeups reports the number of sleep→awake transitions so far.
+func (d *Device) Wakeups() int { return d.session }
+
+// OnWake implements alarm.Host: fn runs after every completed wake
+// transition, before the wake-requesting callbacks.
+func (d *Device) OnWake(fn func()) { d.onWake = append(d.onWake, fn) }
+
+// ExecuteWake implements alarm.Host. If the device is awake, fn runs
+// immediately; if asleep, the wake transition starts (charging its
+// overhead) and fn runs after the stochastic wake latency; if a wake is
+// already in progress, fn joins it.
+func (d *Device) ExecuteWake(fn func()) {
+	if fn == nil {
+		panic("device: ExecuteWake with nil callback")
+	}
+	switch d.st {
+	case awake:
+		d.cancelSleep()
+		fn()
+		d.idleCheck()
+	case waking:
+		d.pending = append(d.pending, fn)
+	case asleep:
+		d.pending = append(d.pending, fn)
+		d.st = waking
+		d.session++
+		d.acct.SetAwake(true)
+		lat := d.wakeLatency()
+		d.clock.After(lat, d.finishWake)
+	}
+}
+
+// ExternalWake models an externally caused wakeup (the user pressing the
+// power button, an incoming push message): the device wakes, flushes
+// whatever the wake subscribers deliver, and dozes back off.
+func (d *Device) ExternalWake() { d.ExecuteWake(func() {}) }
+
+func (d *Device) wakeLatency() simclock.Duration {
+	lo, hi := d.profile.WakeLatencyMin, d.profile.WakeLatencyMax
+	if hi <= lo {
+		return lo
+	}
+	return lo + simclock.Duration(d.rng.Int63n(int64(hi-lo)+1))
+}
+
+func (d *Device) finishWake() {
+	d.st = awake
+	for _, fn := range d.onWake {
+		fn()
+	}
+	fns := d.pending
+	d.pending = nil
+	for _, fn := range fns {
+		fn()
+	}
+	d.idleCheck()
+}
+
+// OnTask installs the task lifecycle observer (e.g. the trace logger).
+func (d *Device) OnTask(fn func(tag string, set hw.Set, start bool)) { d.onTask = fn }
+
+// RunTask executes an alarm task that wakelocks the given component set
+// for dur. Access to each component is serialized, so the task starts at
+// the earliest instant every needed component is free. RunTask must be
+// called while the device is awake (i.e. from a delivery callback) and
+// returns the scheduled start and end times.
+func (d *Device) RunTask(set hw.Set, dur simclock.Duration) (start, end simclock.Time) {
+	return d.RunTaskTagged("", set, dur)
+}
+
+// RunTaskTagged is RunTask with a wakelock tag identifying the task's
+// owner, as Android wakelocks carry.
+func (d *Device) RunTaskTagged(tag string, set hw.Set, dur simclock.Duration) (start, end simclock.Time) {
+	if d.st != awake {
+		panic(fmt.Sprintf("device: RunTask in state %d (device must be awake)", d.st))
+	}
+	if dur < 0 {
+		panic("device: RunTask with negative duration")
+	}
+	now := d.clock.Now()
+	start = now
+	for _, c := range set.Components() {
+		if d.nextFree[c] > start {
+			start = d.nextFree[c]
+		}
+	}
+	end = start.Add(dur)
+	for _, c := range set.Components() {
+		d.nextFree[c] = end
+	}
+	d.tasksActive++
+	d.cancelSleep()
+	d.clock.Schedule(start, func() {
+		d.wl.Acquire(set)
+		if d.onTask != nil {
+			d.onTask(tag, set, true)
+		}
+	})
+	d.clock.Schedule(end, func() {
+		d.wl.Release(set)
+		if d.onTask != nil {
+			d.onTask(tag, set, false)
+		}
+		d.tasksActive--
+		d.idleCheck()
+	})
+	return start, end
+}
+
+// TasksActive reports the number of tasks scheduled or running.
+func (d *Device) TasksActive() int { return d.tasksActive }
+
+func (d *Device) cancelSleep() {
+	d.clock.Cancel(d.sleepTimer)
+	d.sleepTimer = nil
+}
+
+// idleCheck arms the doze timer: once the device has been idle for the
+// profile's AwakeHold, it suspends.
+func (d *Device) idleCheck() {
+	if d.st != awake || d.tasksActive > 0 || d.sleepTimer.Pending() {
+		return
+	}
+	d.sleepTimer = d.clock.After(d.profile.AwakeHold, func() {
+		d.sleepTimer = nil
+		if d.st == awake && d.tasksActive == 0 {
+			d.st = asleep
+			d.acct.SetAwake(false)
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package hw
+
+import "fmt"
+
+// TransitionListener observes component on/off transitions. The power
+// accountant implements it to integrate per-component energy, and the
+// trace logger implements it to reproduce the paper's WakeLock API hooks.
+type TransitionListener interface {
+	// ComponentOn is called when a component's wakelock refcount rises
+	// from zero.
+	ComponentOn(c Component)
+	// ComponentOff is called when a component's wakelock refcount falls
+	// back to zero.
+	ComponentOff(c Component)
+}
+
+// WakelockManager tracks reference-counted wakelocks on hardware
+// components, mirroring Android's per-component WakeLock behaviour: a
+// component is powered while at least one holder has it acquired, and
+// activation overhead is paid only on the 0→1 transition. Alignment saves
+// energy precisely because concurrent holders of the same component share
+// one activation and one powered interval.
+type WakelockManager struct {
+	counts    [NumComponents]int
+	listeners []TransitionListener
+}
+
+// NewWakelockManager returns an empty manager.
+func NewWakelockManager() *WakelockManager { return &WakelockManager{} }
+
+// Subscribe registers a listener for subsequent transitions.
+func (m *WakelockManager) Subscribe(l TransitionListener) {
+	if l == nil {
+		panic("hw: subscribe nil listener")
+	}
+	m.listeners = append(m.listeners, l)
+}
+
+// Acquire takes one wakelock reference on every component in s.
+func (m *WakelockManager) Acquire(s Set) {
+	for _, c := range s.Components() {
+		m.counts[c]++
+		if m.counts[c] == 1 {
+			for _, l := range m.listeners {
+				l.ComponentOn(c)
+			}
+		}
+	}
+}
+
+// Release drops one wakelock reference on every component in s. Releasing
+// a component that has no holders is a refcounting bug and panics.
+func (m *WakelockManager) Release(s Set) {
+	for _, c := range s.Components() {
+		if m.counts[c] == 0 {
+			panic(fmt.Sprintf("hw: release of unheld component %v", c))
+		}
+		m.counts[c]--
+		if m.counts[c] == 0 {
+			for _, l := range m.listeners {
+				l.ComponentOff(c)
+			}
+		}
+	}
+}
+
+// Held reports whether component c currently has any holders.
+func (m *WakelockManager) Held(c Component) bool { return m.counts[c] > 0 }
+
+// Holders reports the current refcount of component c.
+func (m *WakelockManager) Holders(c Component) int { return m.counts[c] }
+
+// AnyHeld reports whether any component has holders.
+func (m *WakelockManager) AnyHeld() bool {
+	for _, n := range m.counts {
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// HeldSet returns the set of components with at least one holder.
+func (m *WakelockManager) HeldSet() Set {
+	var s Set
+	for c := Component(0); c < numComponents; c++ {
+		if m.counts[c] > 0 {
+			s |= 1 << c
+		}
+	}
+	return s
+}

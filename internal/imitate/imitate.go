@@ -1,0 +1,178 @@
+// Package imitate rebuilds application models from runtime traces — the
+// paper's methodology for its five irregular apps (§4.1): "we developed
+// an imitated app to simulate each of these five apps based on the time
+// and hardware patterns of their alarms logged in advance."
+//
+// Given a trace captured by internal/trace (the WakeLock/AlarmManager
+// hooks), Infer reconstructs per-app specs: repeating interval, window
+// factor α, static vs dynamic repetition, hardware set, and task
+// duration. The reconstructed specs can be installed like any other
+// workload, closing the log→imitate→replay loop.
+package imitate
+
+import (
+	"sort"
+
+	"repro/internal/alarm"
+	"repro/internal/apps"
+	"repro/internal/hw"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// MinDeliveries is the minimum number of observed deliveries needed to
+// infer a repeating spec for an app.
+const MinDeliveries = 3
+
+// Infer reconstructs app specs from a trace. Apps with fewer than
+// MinDeliveries deliveries, and one-shot alarms, are skipped (there is
+// no pattern to imitate). Results are sorted by app name.
+func Infer(events []trace.Event) []apps.Spec {
+	recsByApp := map[string][]alarm.Record{}
+	for _, e := range events {
+		if e.Kind == trace.EventDelivery && e.Delivery != nil && e.Delivery.Repeat != alarm.OneShot {
+			r := *e.Delivery
+			recsByApp[r.App] = append(recsByApp[r.App], r)
+		}
+	}
+	durs := taskDurations(events)
+
+	var specs []apps.Spec
+	for app, recs := range recsByApp {
+		if len(recs) < MinDeliveries {
+			continue
+		}
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Delivered < recs[j].Delivered })
+		s := inferOne(app, recs, durs[app])
+		specs = append(specs, s)
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
+	return specs
+}
+
+// inferOne reconstructs one app's spec from its chronological records.
+func inferOne(app string, recs []alarm.Record, taskDur simclock.Duration) apps.Spec {
+	// Repeating interval: the records carry it, but an imitation built
+	// from timestamps alone must infer it — use the *minimum* gap between
+	// adjacent nominal times. Static alarms advance their nominal by
+	// exact period multiples, so the minimum is the period itself;
+	// dynamic alarms advance by period plus the previous delivery's
+	// delay, so the minimum is attained whenever a delivery was on time.
+	var nomGaps []simclock.Duration
+	for i := 1; i < len(recs); i++ {
+		nomGaps = append(nomGaps, recs[i].Nominal.Sub(recs[i-1].Nominal))
+	}
+	period := minDur(nomGaps)
+
+	// Static alarms keep a fixed nominal grid: every adjacent nominal
+	// gap is an exact multiple of the period. Dynamic alarms re-anchor
+	// at the delivery time, so any post-nominal delivery shifts the next
+	// nominal off the grid.
+	dynamic := false
+	for i := 1; i < len(recs); i++ {
+		gap := recs[i].Nominal.Sub(recs[i-1].Nominal)
+		if period > 0 && gap%period != 0 {
+			dynamic = true
+			break
+		}
+	}
+
+	// Window factor: window length over period, from the recorded
+	// window ends.
+	alpha := 0.0
+	if period > 0 {
+		var ratios []float64
+		for _, r := range recs {
+			ratios = append(ratios, float64(r.WindowEnd.Sub(r.Nominal))/float64(period))
+		}
+		alpha = medianFloat(ratios)
+	}
+
+	// Hardware: union over deliveries (footnote 4: learned at runtime).
+	var set hw.Set
+	for _, r := range recs {
+		set = set.Union(r.HW)
+	}
+
+	if taskDur <= 0 {
+		taskDur = defaultTaskDur(set)
+	}
+	return apps.Spec{
+		Name:     app,
+		Period:   period,
+		Alpha:    alpha,
+		Dynamic:  dynamic,
+		HW:       set,
+		TaskDur:  taskDur,
+		Imitated: true,
+	}
+}
+
+// taskDurations extracts the median task duration per wakelock tag from
+// start/end task events.
+func taskDurations(events []trace.Event) map[string]simclock.Duration {
+	open := map[string][]simclock.Time{}
+	durs := map[string][]simclock.Duration{}
+	for _, e := range events {
+		switch e.Kind {
+		case trace.EventTaskStart:
+			open[e.Tag] = append(open[e.Tag], e.At)
+		case trace.EventTaskEnd:
+			if starts := open[e.Tag]; len(starts) > 0 {
+				durs[e.Tag] = append(durs[e.Tag], e.At.Sub(starts[0]))
+				open[e.Tag] = starts[1:]
+			}
+		}
+	}
+	out := map[string]simclock.Duration{}
+	for tag, ds := range durs {
+		out[tag] = median(ds)
+	}
+	return out
+}
+
+// defaultTaskDur guesses a task duration by hardware class when the
+// trace carries no task events.
+func defaultTaskDur(set hw.Set) simclock.Duration {
+	switch {
+	case set.Contains(hw.WPS) || set.Contains(hw.GPS):
+		return simclock.Second
+	case set.Perceptible():
+		return simclock.Second
+	case set.Empty():
+		return 500 * simclock.Millisecond
+	default:
+		return 2 * simclock.Second
+	}
+}
+
+func minDur(xs []simclock.Duration) simclock.Duration {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func median(xs []simclock.Duration) simclock.Duration {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]simclock.Duration(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+func medianFloat(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

@@ -1,0 +1,174 @@
+package imitate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/alarm"
+	"repro/internal/apps"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+const sec = simclock.Second
+
+func rec(app string, nominal, windowEnd, delivered simclock.Duration, rep alarm.Repeat, set hw.Set) trace.Event {
+	return trace.Event{At: simclock.Time(delivered), Kind: trace.EventDelivery,
+		Delivery: &alarm.Record{
+			App: app, AlarmID: app, Repeat: rep, HW: set,
+			Nominal:   simclock.Time(nominal),
+			WindowEnd: simclock.Time(windowEnd),
+			Delivered: simclock.Time(delivered),
+			Period:    100 * sec,
+		}}
+}
+
+func TestInferStaticApp(t *testing.T) {
+	wifi := hw.MakeSet(hw.WiFi)
+	// Static grid at 100 s, window 25 s, delivered with small delays.
+	events := []trace.Event{
+		rec("app", 100*sec, 125*sec, 110*sec, alarm.Static, wifi),
+		rec("app", 200*sec, 225*sec, 205*sec, alarm.Static, wifi),
+		rec("app", 300*sec, 325*sec, 300*sec, alarm.Static, wifi),
+		rec("app", 400*sec, 425*sec, 415*sec, alarm.Static, wifi),
+	}
+	specs := Infer(events)
+	if len(specs) != 1 {
+		t.Fatalf("specs = %v", specs)
+	}
+	s := specs[0]
+	if s.Period != 100*sec {
+		t.Fatalf("period = %v, want 100s", s.Period)
+	}
+	if s.Dynamic {
+		t.Fatal("static app inferred dynamic")
+	}
+	if math.Abs(s.Alpha-0.25) > 1e-9 {
+		t.Fatalf("alpha = %v, want 0.25", s.Alpha)
+	}
+	if s.HW != wifi || !s.Imitated {
+		t.Fatalf("spec = %+v", s)
+	}
+}
+
+func TestInferDynamicApp(t *testing.T) {
+	wifi := hw.MakeSet(hw.WiFi)
+	// Dynamic: each nominal is the previous delivery + 100 s, and
+	// deliveries are delayed, so nominal gaps are off-grid.
+	events := []trace.Event{
+		rec("dyn", 100*sec, 100*sec, 103*sec, alarm.Dynamic, wifi),
+		rec("dyn", 203*sec, 203*sec, 207*sec, alarm.Dynamic, wifi),
+		rec("dyn", 307*sec, 307*sec, 311*sec, alarm.Dynamic, wifi),
+		rec("dyn", 411*sec, 411*sec, 415*sec, alarm.Dynamic, wifi),
+	}
+	specs := Infer(events)
+	if len(specs) != 1 {
+		t.Fatalf("specs = %v", specs)
+	}
+	if !specs[0].Dynamic {
+		t.Fatal("dynamic app inferred static")
+	}
+	if d := specs[0].Period - 100*sec; d < 0 || d > 10*sec {
+		t.Fatalf("period = %v, want ≈100–110s", specs[0].Period)
+	}
+}
+
+func TestInferSkipsSparseAndOneShot(t *testing.T) {
+	wifi := hw.MakeSet(hw.WiFi)
+	events := []trace.Event{
+		rec("sparse", 100*sec, 100*sec, 100*sec, alarm.Static, wifi),
+		rec("sparse", 200*sec, 200*sec, 200*sec, alarm.Static, wifi),
+		{At: simclock.Time(50 * sec), Kind: trace.EventDelivery,
+			Delivery: &alarm.Record{App: "once", Repeat: alarm.OneShot, Delivered: simclock.Time(50 * sec)}},
+		{At: simclock.Time(60 * sec), Kind: trace.EventDelivery,
+			Delivery: &alarm.Record{App: "once", Repeat: alarm.OneShot, Delivered: simclock.Time(60 * sec)}},
+		{At: simclock.Time(70 * sec), Kind: trace.EventDelivery,
+			Delivery: &alarm.Record{App: "once", Repeat: alarm.OneShot, Delivered: simclock.Time(70 * sec)}},
+	}
+	if specs := Infer(events); len(specs) != 0 {
+		t.Fatalf("specs = %v, want none (sparse + one-shot)", specs)
+	}
+}
+
+func TestInferTaskDurationsFromTaskEvents(t *testing.T) {
+	wifi := hw.MakeSet(hw.WiFi)
+	var events []trace.Event
+	for i := 1; i <= 3; i++ {
+		at := simclock.Duration(i) * 100 * sec
+		events = append(events,
+			rec("app", at, at, at, alarm.Static, wifi),
+			trace.Event{At: simclock.Time(at), Kind: trace.EventTaskStart, Tag: "app", Set: wifi},
+			trace.Event{At: simclock.Time(at + 3*sec), Kind: trace.EventTaskEnd, Tag: "app", Set: wifi},
+		)
+	}
+	specs := Infer(events)
+	if len(specs) != 1 || specs[0].TaskDur != 3*sec {
+		t.Fatalf("specs = %+v, want 3 s task", specs)
+	}
+}
+
+func TestInferDefaultDurations(t *testing.T) {
+	if got := defaultTaskDur(hw.MakeSet(hw.WPS)); got != sec {
+		t.Fatalf("WPS default = %v", got)
+	}
+	if got := defaultTaskDur(hw.MakeSet(hw.Speaker)); got != sec {
+		t.Fatalf("perceptible default = %v", got)
+	}
+	if got := defaultTaskDur(0); got != 500*simclock.Millisecond {
+		t.Fatalf("cpu-only default = %v", got)
+	}
+	if got := defaultTaskDur(hw.MakeSet(hw.WiFi)); got != 2*sec {
+		t.Fatalf("wifi default = %v", got)
+	}
+}
+
+// TestRoundTrip is the paper's imitation methodology end to end: log a
+// NATIVE run of the heavy workload, infer imitated specs from the trace,
+// and check that the imitations match Table 3 and, when simulated,
+// reproduce the original run's energy closely.
+func TestRoundTrip(t *testing.T) {
+	orig, err := sim.Run(sim.Config{Workload: apps.HeavyWorkload(), Policy: "NATIVE",
+		Seed: 1, CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inferred := Infer(orig.Trace.Events())
+	byName := map[string]apps.Spec{}
+	for _, s := range inferred {
+		byName[s.Name] = s
+	}
+	for _, want := range apps.HeavyWorkload() {
+		got, ok := byName[want.Name]
+		if !ok {
+			t.Errorf("%s: not inferred", want.Name)
+			continue
+		}
+		if got.HW != want.HW {
+			t.Errorf("%s: hw = %v, want %v", want.Name, got.HW, want.HW)
+		}
+		ratio := float64(got.Period) / float64(want.Period)
+		if ratio < 0.95 || ratio > 1.3 {
+			t.Errorf("%s: period = %v, want ≈%v", want.Name, got.Period, want.Period)
+		}
+		if !want.Dynamic && got.Dynamic {
+			t.Errorf("%s: static app inferred dynamic", want.Name)
+		}
+		// Task durations observed from tagged task events are exact.
+		if got.TaskDur != want.TaskDur {
+			t.Errorf("%s: task = %v, want %v", want.Name, got.TaskDur, want.TaskDur)
+		}
+	}
+
+	// Replay the imitated workload: the energy must land near the
+	// original (the imitation preserves the patterns that matter).
+	replay, err := sim.Run(sim.Config{Workload: inferred, Policy: "NATIVE", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := replay.Energy.TotalMJ() / orig.Energy.TotalMJ()
+	if r < 0.8 || r > 1.2 {
+		t.Fatalf("imitated replay energy ratio = %.2f, want ≈1", r)
+	}
+}

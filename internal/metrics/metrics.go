@@ -1,0 +1,271 @@
+// Package metrics derives the paper's evaluation quantities from alarm
+// delivery records: the normalized delivery delay split by perceptibility
+// (Figure 4), the per-hardware wakeup breakdown against the no-alignment
+// expectation (Table 4), and the adjacent-delivery interval statistics
+// behind the §3.2.2 periodicity properties.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alarm"
+	"repro/internal/hw"
+	"repro/internal/simclock"
+)
+
+// DelayStats summarizes normalized delivery delays (§4.1): an alarm's
+// normalized delay is 0 if delivered within its window interval, else the
+// delay behind the window end divided by its repeating interval.
+type DelayStats struct {
+	PerceptibleMean   float64
+	ImperceptibleMean float64
+	PerceptibleMax    float64
+	ImperceptibleMax  float64
+	PerceptibleN      int
+	ImperceptibleN    int
+}
+
+// Delays computes delay statistics over the records, grouping by the
+// delivery's observed perceptibility.
+func Delays(recs []alarm.Record) DelayStats {
+	var s DelayStats
+	var pSum, iSum float64
+	for _, r := range recs {
+		d := r.NormalizedDelay()
+		if r.Perceptible {
+			pSum += d
+			s.PerceptibleN++
+			if d > s.PerceptibleMax {
+				s.PerceptibleMax = d
+			}
+		} else {
+			iSum += d
+			s.ImperceptibleN++
+			if d > s.ImperceptibleMax {
+				s.ImperceptibleMax = d
+			}
+		}
+	}
+	if s.PerceptibleN > 0 {
+		s.PerceptibleMean = pSum / float64(s.PerceptibleN)
+	}
+	if s.ImperceptibleN > 0 {
+		s.ImperceptibleMean = iSum / float64(s.ImperceptibleN)
+	}
+	return s
+}
+
+// Row is one line of the Table 4 wakeup breakdown: Wakeups is the number
+// of physical wakeups in which an alarm acquiring the hardware was
+// delivered; Expected is the number of wakeups had no alignment been
+// applied (one per delivery).
+type Row struct {
+	Wakeups  int
+	Expected int
+}
+
+// Ratio is Wakeups/Expected; 0 when nothing was expected. Smaller means
+// more effective alignment.
+func (r Row) Ratio() float64 {
+	if r.Expected == 0 {
+		return 0
+	}
+	return float64(r.Wakeups) / float64(r.Expected)
+}
+
+// String renders the row the way Table 4 prints entries.
+func (r Row) String() string { return fmt.Sprintf("%d/%d", r.Wakeups, r.Expected) }
+
+// Breakdown is the full Table 4: the CPU row counts every delivery
+// (including one-shot and system alarms, which wakelock nothing); the
+// per-component rows count only deliveries that acquired that component.
+type Breakdown struct {
+	CPU       Row
+	Component [hw.NumComponents]Row
+}
+
+// Wakeups computes the breakdown. A "wakeup" for a row is a distinct
+// awake session among the matching deliveries, so alarms batched into one
+// session count once.
+func Wakeups(recs []alarm.Record) Breakdown {
+	var b Breakdown
+	cpuSessions := map[int]bool{}
+	compSessions := [hw.NumComponents]map[int]bool{}
+	for c := range compSessions {
+		compSessions[c] = map[int]bool{}
+	}
+	for _, r := range recs {
+		b.CPU.Expected++
+		cpuSessions[r.Session] = true
+		for _, c := range r.HW.Components() {
+			b.Component[c].Expected++
+			compSessions[c][r.Session] = true
+		}
+	}
+	b.CPU.Wakeups = len(cpuSessions)
+	for c := range compSessions {
+		b.Component[c].Wakeups = len(compSessions[c])
+	}
+	return b
+}
+
+// SpeakerVibrator merges the speaker and vibrator rows the way Table 4
+// reports them ("Speaker&Vibrator"). Sessions delivering either count
+// once, so the merged row is computed from records, not by adding rows.
+func SpeakerVibrator(recs []alarm.Record) Row {
+	var row Row
+	sessions := map[int]bool{}
+	both := hw.MakeSet(hw.Speaker, hw.Vibrator)
+	for _, r := range recs {
+		if r.HW.Intersects(both) {
+			row.Expected++
+			sessions[r.Session] = true
+		}
+	}
+	row.Wakeups = len(sessions)
+	return row
+}
+
+// LeastWakeups is the paper's lower bound on per-component wakeups: the
+// horizon divided by the smallest repeating interval among the *static*
+// repeating alarms that wakelock the component (§4.2). Zero if no static
+// alarm uses it.
+func LeastWakeups(horizon simclock.Duration, periodsByComponent map[hw.Component][]simclock.Duration) map[hw.Component]int {
+	out := map[hw.Component]int{}
+	for c, ps := range periodsByComponent {
+		var minP simclock.Duration
+		for _, p := range ps {
+			if p > 0 && (minP == 0 || p < minP) {
+				minP = p
+			}
+		}
+		if minP > 0 {
+			out[c] = int(horizon / minP)
+		}
+	}
+	return out
+}
+
+// IntervalStats reports the spacing between adjacent deliveries of one
+// alarm, used to verify the §3.2.2 periodicity properties.
+type IntervalStats struct {
+	N        int
+	Min, Max simclock.Duration
+	Mean     float64 // seconds
+}
+
+// AdjacentIntervals groups records per alarm ID and computes the
+// adjacent-delivery interval statistics for each alarm with at least two
+// deliveries.
+func AdjacentIntervals(recs []alarm.Record) map[string]IntervalStats {
+	byAlarm := map[string][]simclock.Time{}
+	for _, r := range recs {
+		byAlarm[r.AlarmID] = append(byAlarm[r.AlarmID], r.Delivered)
+	}
+	out := map[string]IntervalStats{}
+	for id, times := range byAlarm {
+		if len(times) < 2 {
+			continue
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		var s IntervalStats
+		var sum float64
+		for i := 1; i < len(times); i++ {
+			gap := times[i].Sub(times[i-1])
+			if s.N == 0 || gap < s.Min {
+				s.Min = gap
+			}
+			if gap > s.Max {
+				s.Max = gap
+			}
+			sum += gap.Seconds()
+			s.N++
+		}
+		s.Mean = sum / float64(s.N)
+		out[id] = s
+	}
+	return out
+}
+
+// BatchStats summarizes how many alarms each delivered entry carried —
+// the direct measure of how aggressively a policy aligns.
+type BatchStats struct {
+	Batches  int
+	MeanSize float64
+	MaxSize  int
+	// SoloFraction is the share of batches holding a single alarm.
+	SoloFraction float64
+}
+
+// Batches derives batch statistics from delivery records: records of
+// one batch share the manager-assigned EntrySeq.
+func Batches(recs []alarm.Record) BatchStats {
+	sizes := map[int]int{}
+	for _, r := range recs {
+		if r.EntrySize > sizes[r.EntrySeq] {
+			sizes[r.EntrySeq] = r.EntrySize
+		}
+	}
+	var s BatchStats
+	total := 0
+	for _, size := range sizes {
+		s.Batches++
+		total += size
+		if size > s.MaxSize {
+			s.MaxSize = size
+		}
+		if size == 1 {
+			s.SoloFraction++
+		}
+	}
+	if s.Batches > 0 {
+		s.MeanSize = float64(total) / float64(s.Batches)
+		s.SoloFraction /= float64(s.Batches)
+	}
+	return s
+}
+
+// CountByApp tallies deliveries per application.
+func CountByApp(recs []alarm.Record) map[string]int {
+	out := map[string]int{}
+	for _, r := range recs {
+		out[r.App]++
+	}
+	return out
+}
+
+// WakeupGaps reports the distribution of time between consecutive
+// physical wakeups that delivered alarms — the user-facing "how often
+// does my phone wake" quantity. Gaps are measured between the first
+// delivery instants of consecutive sessions.
+func WakeupGaps(recs []alarm.Record) IntervalStats {
+	first := map[int]simclock.Time{}
+	for _, r := range recs {
+		if t, ok := first[r.Session]; !ok || r.Delivered < t {
+			first[r.Session] = r.Delivered
+		}
+	}
+	times := make([]simclock.Time, 0, len(first))
+	for _, t := range first {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	var s IntervalStats
+	var sum float64
+	for i := 1; i < len(times); i++ {
+		gap := times[i].Sub(times[i-1])
+		if s.N == 0 || gap < s.Min {
+			s.Min = gap
+		}
+		if gap > s.Max {
+			s.Max = gap
+		}
+		sum += gap.Seconds()
+		s.N++
+	}
+	if s.N > 0 {
+		s.Mean = sum / float64(s.N)
+	}
+	return s
+}

@@ -1,0 +1,197 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/alarm"
+	"repro/internal/hw"
+	"repro/internal/simclock"
+)
+
+const sec = simclock.Second
+
+func rec(id string, session int, set hw.Set, perceptible bool, nominal, windowEnd, delivered simclock.Duration, period simclock.Duration) alarm.Record {
+	return alarm.Record{
+		AlarmID: id, App: id, Session: session, HW: set, Perceptible: perceptible,
+		Nominal: simclock.Time(nominal), WindowEnd: simclock.Time(windowEnd),
+		Delivered: simclock.Time(delivered), Period: period,
+	}
+}
+
+func TestDelays(t *testing.T) {
+	wifi := hw.MakeSet(hw.WiFi)
+	spk := hw.MakeSet(hw.Speaker)
+	recs := []alarm.Record{
+		rec("p1", 1, spk, true, 0, 10*sec, 5*sec, 100*sec),    // on time
+		rec("i1", 2, wifi, false, 0, 10*sec, 60*sec, 100*sec), // delay 0.5
+		rec("i2", 3, wifi, false, 0, 10*sec, 10*sec, 100*sec), // on time
+	}
+	s := Delays(recs)
+	if s.PerceptibleN != 1 || s.ImperceptibleN != 2 {
+		t.Fatalf("counts = %d/%d", s.PerceptibleN, s.ImperceptibleN)
+	}
+	if s.PerceptibleMean != 0 || s.PerceptibleMax != 0 {
+		t.Fatalf("perceptible delay = %v", s.PerceptibleMean)
+	}
+	if s.ImperceptibleMean != 0.25 || s.ImperceptibleMax != 0.5 {
+		t.Fatalf("imperceptible mean=%v max=%v, want 0.25/0.5", s.ImperceptibleMean, s.ImperceptibleMax)
+	}
+}
+
+func TestDelaysEmpty(t *testing.T) {
+	s := Delays(nil)
+	if s.PerceptibleMean != 0 || s.ImperceptibleMean != 0 || s.PerceptibleN != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+}
+
+func TestWakeupBreakdown(t *testing.T) {
+	wifi := hw.MakeSet(hw.WiFi)
+	wpsSet := hw.MakeSet(hw.WPS)
+	recs := []alarm.Record{
+		// Session 1: two Wi-Fi alarms batched + one CPU-only.
+		rec("a", 1, wifi, false, 0, 0, 0, 100*sec),
+		rec("b", 1, wifi, false, 0, 0, 0, 100*sec),
+		rec("sys", 1, 0, false, 0, 0, 0, 100*sec),
+		// Session 2: one Wi-Fi, one WPS.
+		rec("a", 2, wifi, false, 0, 0, 0, 100*sec),
+		rec("w", 2, wpsSet, false, 0, 0, 0, 100*sec),
+	}
+	b := Wakeups(recs)
+	if b.CPU.Wakeups != 2 || b.CPU.Expected != 5 {
+		t.Fatalf("CPU row = %v", b.CPU)
+	}
+	if b.Component[hw.WiFi].Wakeups != 2 || b.Component[hw.WiFi].Expected != 3 {
+		t.Fatalf("WiFi row = %v", b.Component[hw.WiFi])
+	}
+	if b.Component[hw.WPS].Wakeups != 1 || b.Component[hw.WPS].Expected != 1 {
+		t.Fatalf("WPS row = %v", b.Component[hw.WPS])
+	}
+	if b.Component[hw.Accelerometer].Expected != 0 {
+		t.Fatal("accelerometer row should be empty")
+	}
+	if b.CPU.String() != "2/5" {
+		t.Fatalf("String = %q", b.CPU.String())
+	}
+	if b.CPU.Ratio() != 0.4 {
+		t.Fatalf("Ratio = %v", b.CPU.Ratio())
+	}
+	if (Row{}).Ratio() != 0 {
+		t.Fatal("empty row ratio")
+	}
+}
+
+func TestSpeakerVibratorMerged(t *testing.T) {
+	sv := hw.MakeSet(hw.Speaker, hw.Vibrator)
+	spk := hw.MakeSet(hw.Speaker)
+	recs := []alarm.Record{
+		rec("a", 1, sv, true, 0, 0, 0, 100*sec),
+		rec("b", 1, spk, true, 0, 0, 0, 100*sec), // same session: one wakeup
+		rec("c", 2, sv, true, 0, 0, 0, 100*sec),
+		rec("d", 3, hw.MakeSet(hw.WiFi), false, 0, 0, 0, 100*sec), // not counted
+	}
+	row := SpeakerVibrator(recs)
+	if row.Wakeups != 2 || row.Expected != 3 {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestLeastWakeups(t *testing.T) {
+	got := LeastWakeups(3*simclock.Hour, map[hw.Component][]simclock.Duration{
+		hw.Accelerometer: {60 * sec, 90 * sec},
+		hw.WPS:           {180 * sec, 300 * sec, 300 * sec},
+		hw.Speaker:       {},
+	})
+	if got[hw.Accelerometer] != 180 {
+		t.Fatalf("accel bound = %d, want 180", got[hw.Accelerometer])
+	}
+	if got[hw.WPS] != 60 {
+		t.Fatalf("wps bound = %d, want 60", got[hw.WPS])
+	}
+	if _, ok := got[hw.Speaker]; ok {
+		t.Fatal("speaker bound should be absent")
+	}
+}
+
+func TestAdjacentIntervals(t *testing.T) {
+	wifi := hw.MakeSet(hw.WiFi)
+	recs := []alarm.Record{
+		rec("a", 1, wifi, false, 0, 0, 10*sec, 100*sec),
+		rec("a", 2, wifi, false, 0, 0, 110*sec, 100*sec),
+		rec("a", 3, wifi, false, 0, 0, 260*sec, 100*sec),
+		rec("once", 9, wifi, false, 0, 0, 50*sec, 0), // single delivery: skipped
+	}
+	s := AdjacentIntervals(recs)
+	a, ok := s["a"]
+	if !ok {
+		t.Fatal("alarm a missing")
+	}
+	if a.N != 2 || a.Min != 100*sec || a.Max != 150*sec {
+		t.Fatalf("stats = %+v", a)
+	}
+	if a.Mean != 125 {
+		t.Fatalf("mean = %v", a.Mean)
+	}
+	if _, ok := s["once"]; ok {
+		t.Fatal("single-delivery alarm included")
+	}
+}
+
+func TestCountByApp(t *testing.T) {
+	recs := []alarm.Record{
+		rec("a", 1, 0, false, 0, 0, 0, 0),
+		rec("a", 2, 0, false, 0, 0, 0, 0),
+		rec("b", 3, 0, false, 0, 0, 0, 0),
+	}
+	got := CountByApp(recs)
+	if got["a"] != 2 || got["b"] != 1 {
+		t.Fatalf("counts = %v", got)
+	}
+}
+
+func TestBatches(t *testing.T) {
+	wifi := hw.MakeSet(hw.WiFi)
+	mk := func(id string, seq, size int) alarm.Record {
+		r := rec(id, seq, wifi, false, 0, 0, 0, 100*sec)
+		r.EntrySeq, r.EntrySize = seq, size
+		return r
+	}
+	recs := []alarm.Record{
+		mk("a", 1, 3), mk("b", 1, 3), mk("c", 1, 3),
+		mk("a", 2, 1),
+		mk("a", 3, 2), mk("b", 3, 2),
+	}
+	s := Batches(recs)
+	if s.Batches != 3 {
+		t.Fatalf("batches = %d", s.Batches)
+	}
+	if s.MeanSize != 2 {
+		t.Fatalf("mean = %v", s.MeanSize)
+	}
+	if s.MaxSize != 3 {
+		t.Fatalf("max = %d", s.MaxSize)
+	}
+	if s.SoloFraction != 1.0/3 {
+		t.Fatalf("solo = %v", s.SoloFraction)
+	}
+	if got := Batches(nil); got.Batches != 0 || got.MeanSize != 0 {
+		t.Fatalf("empty = %+v", got)
+	}
+}
+
+func TestWakeupGaps(t *testing.T) {
+	wifi := hw.MakeSet(hw.WiFi)
+	recs := []alarm.Record{
+		rec("a", 1, wifi, false, 0, 0, 10*sec, 100*sec),
+		rec("b", 1, wifi, false, 0, 0, 12*sec, 100*sec), // same session
+		rec("a", 2, wifi, false, 0, 0, 70*sec, 100*sec),
+		rec("a", 3, wifi, false, 0, 0, 200*sec, 100*sec),
+	}
+	s := WakeupGaps(recs)
+	if s.N != 2 || s.Min != 60*sec || s.Max != 130*sec {
+		t.Fatalf("gaps = %+v", s)
+	}
+	if got := WakeupGaps(nil); got.N != 0 || got.Mean != 0 {
+		t.Fatalf("empty gaps = %+v", got)
+	}
+}

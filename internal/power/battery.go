@@ -1,0 +1,56 @@
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/simclock"
+)
+
+// Battery tracks a device battery's state of charge. The paper reports
+// standby-time extension by projecting from a 3 h measurement; a Battery
+// attached to a long simulation measures time-to-empty directly.
+type Battery struct {
+	capacityMJ float64
+	drainedMJ  float64
+}
+
+// NewBattery returns a full battery with the given usable capacity.
+func NewBattery(capacityMJ float64) *Battery {
+	if capacityMJ <= 0 {
+		panic("power: non-positive battery capacity")
+	}
+	return &Battery{capacityMJ: capacityMJ}
+}
+
+// CapacityMJ reports the usable capacity.
+func (b *Battery) CapacityMJ() float64 { return b.capacityMJ }
+
+// Drain removes energy; negative amounts panic (charging is out of
+// scope for connected standby).
+func (b *Battery) Drain(mj float64) {
+	if mj < 0 {
+		panic("power: negative drain")
+	}
+	b.drainedMJ += mj
+}
+
+// SoC reports the state of charge in [0, 1].
+func (b *Battery) SoC() float64 {
+	soc := 1 - b.drainedMJ/b.capacityMJ
+	if soc < 0 {
+		return 0
+	}
+	return soc
+}
+
+// Empty reports whether the battery is exhausted.
+func (b *Battery) Empty() bool { return b.drainedMJ >= b.capacityMJ }
+
+// String formats the state of charge.
+func (b *Battery) String() string { return fmt.Sprintf("%.1f%%", b.SoC()*100) }
+
+// SoCPoint is one sample of a discharge curve.
+type SoCPoint struct {
+	At  simclock.Time
+	SoC float64
+}

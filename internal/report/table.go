@@ -1,0 +1,122 @@
+// Package report turns the paper's evaluation artifacts (Tables 1, 3, 4;
+// Figures 2, 3, 4; the §4.2 bounds; the DESIGN.md ablations) into
+// structured, renderable experiments. Each Experiment runs the required
+// simulations and returns a Table; renderers emit aligned text (for the
+// terminal), Markdown (for EXPERIMENTS.md) or CSV (for plotting).
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is one rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier ("fig3", "table4", ...).
+	ID string
+	// Title is the heading, including the paper's reference values.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the body cells; each row must have len(Columns) cells.
+	Rows [][]string
+	// Notes are free-form lines printed after the table (derived
+	// quantities like "total savings 24%").
+	Notes []string
+}
+
+// AddRow appends a row, padding or truncating to the column count.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a formatted note line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "\n=== %s ===\n", t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintln(w, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown renders the table as GitHub-flavoured Markdown.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "\n## %s\n\n", t.Title); err != nil {
+		return err
+	}
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	header := make([]string, len(t.Columns))
+	sep := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		header[i] = esc(c)
+		sep[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(header, " | "))
+	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "\n%s", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV renders the table as CSV (RFC-4180-ish; cells with commas or
+// quotes are quoted).
+func (t *Table) WriteCSV(w io.Writer) error {
+	quote := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	line := func(cells []string) string {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = quote(c)
+		}
+		return strings.Join(out, ",")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+)
+
+func TestPushesWakeDevice(t *testing.T) {
+	cfg := Config{
+		Workload:      apps.LightWorkload()[:1], // just Facebook
+		PushesPerHour: 20,
+		Seed:          1,
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pushes == 0 {
+		t.Fatal("no pushes arrived in 3 h at 20/h")
+	}
+	// Poisson with mean 60 over 3 h: allow a wide band.
+	if r.Pushes < 20 || r.Pushes > 140 {
+		t.Fatalf("pushes = %d, want ≈60", r.Pushes)
+	}
+	// Pushes wake the device beyond what alarms alone need.
+	noPush := cfg
+	noPush.PushesPerHour = 0
+	r2, err := Run(noPush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FinalWakeups <= r2.FinalWakeups {
+		t.Fatalf("wakeups with pushes %d not above without %d", r.FinalWakeups, r2.FinalWakeups)
+	}
+	if r.Energy.TotalMJ() <= r2.Energy.TotalMJ() {
+		t.Fatal("pushes should cost energy")
+	}
+}
+
+func TestNegativePushRateRejected(t *testing.T) {
+	if _, err := Run(Config{Workload: apps.LightWorkload(), PushesPerHour: -1}); err == nil {
+		t.Fatal("negative push rate accepted")
+	}
+}
+
+func TestPushesAreDeterministic(t *testing.T) {
+	cfg := Config{Workload: apps.LightWorkload()[:2], PushesPerHour: 10, Seed: 9,
+		Duration: simclock.Duration(simclock.Hour)}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Pushes != b.Pushes || a.Energy.TotalMJ() != b.Energy.TotalMJ() {
+		t.Fatal("push arrivals not reproducible for a fixed seed")
+	}
+}
+
+// TestNonWakeupAppsRideOnPushes: a non-wakeup alarm is never delivered
+// while the device sleeps; with external pushes it gets delivered on
+// those wakeups.
+func TestNonWakeupAppsRideOnPushes(t *testing.T) {
+	nw := apps.Spec{
+		Name:      "lazy-widget",
+		Period:    300 * simclock.Second,
+		Alpha:     0,
+		NonWakeup: true,
+		TaskDur:   500 * simclock.Millisecond,
+	}
+	count := func(pushRate float64, withWakeupApps bool) int {
+		wl := []apps.Spec{nw}
+		if withWakeupApps {
+			wl = append(wl, apps.LightWorkload()[:1]...)
+		}
+		r, err := Run(Config{Workload: wl, PushesPerHour: pushRate, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, rec := range r.Records {
+			if rec.App == "lazy-widget" {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(0, false); got != 0 {
+		t.Fatalf("non-wakeup alarm delivered %d times with nothing to wake the device", got)
+	}
+	if got := count(20, false); got == 0 {
+		t.Fatal("non-wakeup alarm never flushed by pushes")
+	}
+	if got := count(0, true); got == 0 {
+		t.Fatal("non-wakeup alarm never flushed by other apps' wakeups")
+	}
+}
+
+// TestIntervalPolicyEndToEnd: the paper-intro remedy wakes the device at
+// most ~once per grid interval but breaks the perceptible-delay
+// guarantee that NATIVE and SIMTY preserve.
+func TestIntervalPolicyEndToEnd(t *testing.T) {
+	r, err := Run(Config{Workload: apps.HeavyWorkload(), SystemAlarms: true, Policy: "INTERVAL", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := 300 * simclock.Second
+	maxWakes := int(r.Config.Duration/grid) + 2
+	if r.FinalWakeups > maxWakes {
+		t.Fatalf("INTERVAL wakeups = %d, want ≤ %d (one per grid slot)", r.FinalWakeups, maxWakes)
+	}
+	// The blunt remedy delays perceptible alarms, which SIMTY never does.
+	if r.Delays.PerceptibleMean <= 0.005 {
+		t.Fatalf("INTERVAL perceptible delay = %v, expected a visible user-experience cost",
+			r.Delays.PerceptibleMean)
+	}
+	s, err := Run(Config{Workload: apps.HeavyWorkload(), SystemAlarms: true, Policy: "SIMTY", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Delays.PerceptibleMean > 0.005 {
+		t.Fatalf("SIMTY perceptible delay = %v", s.Delays.PerceptibleMean)
+	}
+}
+
+func TestScreenSessionsFlushNonWakeupAndCostEnergy(t *testing.T) {
+	nw := apps.Spec{
+		Name:      "widget",
+		Period:    300 * simclock.Second,
+		NonWakeup: true,
+		TaskDur:   200 * simclock.Millisecond,
+	}
+	base := Config{Workload: []apps.Spec{nw}, Seed: 4}
+	quiet, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withScreen := base
+	withScreen.ScreenSessionsPerHour = 6
+	busy, err := Run(withScreen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countWidget := func(r *Result) int {
+		n := 0
+		for _, rec := range r.Records {
+			if rec.App == "widget" {
+				n++
+			}
+		}
+		return n
+	}
+	if countWidget(quiet) != 0 {
+		t.Fatal("non-wakeup alarm delivered without any wake source")
+	}
+	if countWidget(busy) == 0 {
+		t.Fatal("screen sessions did not flush the non-wakeup alarm")
+	}
+	if busy.Energy.ComponentMJ[8] <= 0 { // hw.Screen == 8
+		t.Fatal("screen sessions drew no screen energy")
+	}
+	if busy.Energy.TotalMJ() <= quiet.Energy.TotalMJ() {
+		t.Fatal("screen sessions should cost energy")
+	}
+}
+
+func TestNegativeScreenRateRejected(t *testing.T) {
+	if _, err := Run(Config{Workload: apps.LightWorkload(), ScreenSessionsPerHour: -1}); err == nil {
+		t.Fatal("negative screen rate accepted")
+	}
+}
+
+// TestBatchSizes: SIMTY batches markedly more densely than NATIVE.
+func TestBatchSizes(t *testing.T) {
+	cmp, err := Compare(Config{Workload: apps.HeavyWorkload(), SystemAlarms: true, Seed: 1},
+		"NATIVE", "SIMTY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := metrics.Batches(cmp.Base.Records)
+	sb := metrics.Batches(cmp.Test.Records)
+	if nb.Batches == 0 || sb.Batches == 0 {
+		t.Fatal("no batches")
+	}
+	if sb.MeanSize <= nb.MeanSize {
+		t.Fatalf("SIMTY mean batch %.2f not above NATIVE %.2f", sb.MeanSize, nb.MeanSize)
+	}
+	if sb.SoloFraction >= nb.SoloFraction {
+		t.Fatalf("SIMTY solo fraction %.2f not below NATIVE %.2f", sb.SoloFraction, nb.SoloFraction)
+	}
+}
+
+// TestTaskJitter: duration jitter perturbs energy but must not break
+// either policy's delivery guarantees.
+func TestTaskJitter(t *testing.T) {
+	base := Config{Workload: apps.HeavyWorkload(), Seed: 1, Policy: "SIMTY", ZeroWakeLatency: true}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jit := base
+	jit.TaskJitter = 0.4
+	jittered, err := Run(jit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Energy.TotalMJ() == jittered.Energy.TotalMJ() {
+		t.Fatal("jitter had no effect on energy")
+	}
+	for _, rec := range jittered.Records {
+		if rec.Perceptible && rec.Delivered > rec.WindowEnd {
+			t.Fatalf("jitter broke the perceptible window guarantee: %+v", rec)
+		}
+		if rec.Delivered > rec.GraceEnd {
+			t.Fatalf("jitter broke the grace guarantee: %+v", rec)
+		}
+	}
+	if _, err := Run(Config{Workload: apps.LightWorkload(), TaskJitter: 1.5}); err == nil {
+		t.Fatal("out-of-range jitter accepted")
+	}
+	if _, err := Run(Config{Workload: apps.LightWorkload(), TaskJitter: -0.1}); err == nil {
+		t.Fatal("negative jitter accepted")
+	}
+}
+
+// TestDozePolicy: the maintenance-window scheme saves more energy than
+// SIMTY but breaks the grace-interval guarantee SIMTY maintains, while
+// still protecting perceptible alarms.
+func TestDozePolicy(t *testing.T) {
+	cfg := Config{Workload: apps.HeavyWorkload(), SystemAlarms: true, Seed: 1, ZeroWakeLatency: true}
+	run := func(policy string) *Result {
+		c := cfg
+		c.Policy = policy
+		r, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	doze, simty := run("DOZE"), run("SIMTY")
+	if doze.Energy.TotalMJ() >= simty.Energy.TotalMJ() {
+		t.Fatalf("DOZE %f mJ not below SIMTY %f mJ", doze.Energy.TotalMJ(), simty.Energy.TotalMJ())
+	}
+	// Perceptible alarms still on time...
+	if doze.Delays.PerceptibleMean > 0.001 {
+		t.Fatalf("DOZE perceptible delay = %v", doze.Delays.PerceptibleMean)
+	}
+	// ...but some imperceptible deliveries land beyond their grace
+	// intervals — the guarantee SIMTY never gives up.
+	violated := 0
+	for _, rec := range doze.Records {
+		if !rec.Perceptible && rec.Delivered > rec.GraceEnd {
+			violated++
+		}
+	}
+	if violated == 0 {
+		t.Fatal("DOZE unexpectedly respected every grace interval (should defer past them)")
+	}
+	for _, rec := range simty.Records {
+		if rec.Delivered > rec.GraceEnd {
+			t.Fatal("SIMTY violated a grace interval")
+		}
+	}
+}

@@ -1,0 +1,391 @@
+// Package sim assembles the full connected-standby experiment: a virtual
+// clock, a simulated device with its power accountant, an alarm manager
+// running a chosen alignment policy, and the paper's application
+// workloads. One Run reproduces one bar of the paper's evaluation; the
+// comparison helpers compute the headline quantities (energy savings,
+// standby-time extension).
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/alarm"
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// DefaultBeta is the grace factor the paper's experiments use (§4.1).
+const DefaultBeta = 0.96
+
+// DefaultDuration is the paper's 3-hour connected-standby horizon.
+const DefaultDuration = 3 * simclock.Duration(simclock.Hour)
+
+// Config describes one simulation run.
+type Config struct {
+	// Name labels the run in reports.
+	Name string
+	// Policy is the alignment policy: NATIVE, NOALIGN, SIMTY, SIMTY-hw2,
+	// SIMTY-hw4, or SIMTY-DUR.
+	Policy string
+	// Custom, when non-nil, overrides Policy with a caller-provided
+	// alignment policy implementing alarm.Policy.
+	Custom alarm.Policy
+	// Workload is the installed application set (see package apps).
+	Workload []apps.Spec
+	// SystemAlarms adds the background system-service population that
+	// the paper's CPU wakeup counts include.
+	SystemAlarms bool
+	// OneShots schedules this many sporadic one-shot alarms across the
+	// horizon.
+	OneShots int
+	// Duration is the connected-standby horizon (default 3 h).
+	Duration simclock.Duration
+	// Beta is the grace factor β (default 0.96). Only similarity-based
+	// policies read grace intervals, but the attribute is always set.
+	Beta float64
+	// Seed drives phase stagger, wake latency, and one-shot times.
+	Seed int64
+	// Profile is the device power model; nil selects power.Nexus5.
+	Profile *power.Profile
+	// PushesPerHour models externally caused wakeups — Google Cloud
+	// Messaging pushes or the user pressing the power button. The paper's
+	// footnote 1 notes GCM handles external messages and is orthogonal to
+	// AlarmManager: pushes are not subject to the alignment policy, but
+	// they wake the device (receiving a message over Wi-Fi) and due
+	// non-wakeup alarms are flushed on them. Arrivals are Poisson.
+	PushesPerHour float64
+	// TaskJitter randomizes task durations within ±TaskJitter×nominal,
+	// modelling varying network conditions. Must lie in [0, 1).
+	TaskJitter float64
+	// ScreenSessionsPerHour models the user turning the screen on
+	// (Poisson arrivals); each session keeps the screen lit for
+	// ScreenSessionDur. Screen-on periods end connected standby
+	// momentarily: the device is awake, so due non-wakeup alarms flush.
+	ScreenSessionsPerHour float64
+	// ScreenSessionDur is the length of one screen-on session (default
+	// 30 s when sessions are enabled).
+	ScreenSessionDur simclock.Duration
+	// ZeroWakeLatency removes the stochastic resume latency (ablation:
+	// the paper attributes NATIVE's 0.4–0.6% imperceptible delay to it).
+	ZeroWakeLatency bool
+	// DisableRealign turns off the native realignment-on-reinsert.
+	DisableRealign bool
+	// CollectTrace attaches a trace.Logger to the run.
+	CollectTrace bool
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Duration == 0 {
+		c.Duration = DefaultDuration
+	}
+	if c.Beta == 0 {
+		c.Beta = DefaultBeta
+	}
+	if c.Policy == "" {
+		c.Policy = "NATIVE"
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Duration <= 0:
+		return fmt.Errorf("sim: non-positive duration %v", c.Duration)
+	case c.Beta <= 0:
+		return fmt.Errorf("sim: non-positive beta %v", c.Beta)
+	case len(c.Workload) == 0 && !c.SystemAlarms && c.OneShots == 0:
+		return fmt.Errorf("sim: empty workload")
+	case c.OneShots < 0:
+		return fmt.Errorf("sim: negative one-shot count")
+	case c.PushesPerHour < 0:
+		return fmt.Errorf("sim: negative push rate")
+	case c.ScreenSessionsPerHour < 0:
+		return fmt.Errorf("sim: negative screen-session rate")
+	case c.TaskJitter < 0 || c.TaskJitter >= 1:
+		return fmt.Errorf("sim: task jitter %v outside [0,1)", c.TaskJitter)
+	}
+	return nil
+}
+
+// PolicyByName constructs an alignment policy from its report name.
+func PolicyByName(name string) (alarm.Policy, error) {
+	switch strings.ToUpper(name) {
+	case "NATIVE":
+		return alarm.Native{}, nil
+	case "NOALIGN":
+		return alarm.NoAlign{}, nil
+	case "INTERVAL":
+		return alarm.Interval{}, nil
+	case "DOZE":
+		return alarm.Doze{}, nil
+	case "SIMTY":
+		return core.NewSimty(), nil
+	case "SIMTY-HW2":
+		return &core.Simty{HW: core.TwoLevel{}}, nil
+	case "SIMTY-HW4":
+		return &core.Simty{HW: core.FourLevel{}}, nil
+	case "SIMTY-DUR":
+		return core.NewDurationSimty(), nil
+	}
+	return nil, fmt.Errorf("sim: unknown policy %q", name)
+}
+
+// PolicyNames lists the recognized policy names.
+func PolicyNames() []string {
+	return []string{"NATIVE", "NOALIGN", "INTERVAL", "DOZE", "SIMTY", "SIMTY-hw2", "SIMTY-hw4", "SIMTY-DUR"}
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Config       Config
+	PolicyName   string
+	Energy       power.Breakdown
+	StandbyHours float64
+	Records      []alarm.Record
+	// Delays covers the workload's application alarms only — Figure 4's
+	// population. DelaysAll additionally includes system and one-shot
+	// alarms.
+	Delays    metrics.DelayStats
+	DelaysAll metrics.DelayStats
+	Wakeups   metrics.Breakdown
+	SpkVib    metrics.Row
+	Trace     *trace.Logger
+	// FinalWakeups is the device's total sleep→awake transition count
+	// (matches Energy.WakeTransitions).
+	FinalWakeups int
+	// Pushes is the number of external (GCM-style) wakeups that arrived.
+	Pushes int
+}
+
+// Run executes one simulation and computes all derived metrics.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	pol := cfg.Custom
+	if pol == nil {
+		var err error
+		pol, err = PolicyByName(cfg.Policy)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	clock := simclock.New()
+	profile := cfg.Profile
+	if profile == nil {
+		profile = power.Nexus5()
+	}
+	if cfg.ZeroWakeLatency {
+		p := *profile
+		p.WakeLatencyMin, p.WakeLatencyMax = 0, 0
+		profile = &p
+	}
+	dev := device.New(clock, profile, cfg.Seed)
+	mgr := alarm.NewManager(clock, dev, pol)
+	mgr.SetRealign(!cfg.DisableRealign)
+
+	var recs []alarm.Record
+	var logger *trace.Logger
+	if cfg.CollectTrace {
+		logger = trace.NewLogger(clock)
+		dev.Wakelocks().Subscribe(logger)
+		dev.OnTask(logger.Task)
+		mgr.SetRecordFunc(func(r alarm.Record) {
+			recs = append(recs, r)
+			logger.Record(r)
+		})
+	} else {
+		mgr.SetRecordFunc(func(r alarm.Record) { recs = append(recs, r) })
+	}
+
+	rt := apps.NewRuntime(clock, dev, mgr, cfg.Beta, simclock.Rand(cfg.Seed+1))
+	rt.Jitter = cfg.TaskJitter
+	if err := rt.Install(cfg.Workload); err != nil {
+		return nil, err
+	}
+	if cfg.SystemAlarms {
+		if err := rt.Install(apps.SystemSpecs()); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.OneShots > 0 {
+		if err := rt.ScheduleOneShots(cfg.Duration, cfg.OneShots); err != nil {
+			return nil, err
+		}
+	}
+
+	if cfg.ScreenSessionsPerHour > 0 {
+		dur := cfg.ScreenSessionDur
+		if dur <= 0 {
+			dur = 30 * simclock.Second
+		}
+		scrRng := simclock.Rand(cfg.Seed + 3)
+		meanGap := float64(simclock.Hour) / cfg.ScreenSessionsPerHour
+		var scheduleSession func(at simclock.Time)
+		scheduleSession = func(at simclock.Time) {
+			if at > simclock.Time(cfg.Duration) {
+				return
+			}
+			clock.Schedule(at, func() {
+				dev.ExecuteWake(func() {
+					dev.RunTaskTagged("screen-session", hw.MakeSet(hw.Screen), dur)
+				})
+				scheduleSession(at.Add(simclock.Duration(scrRng.ExpFloat64() * meanGap)))
+			})
+		}
+		scheduleSession(simclock.Time(simclock.Duration(scrRng.ExpFloat64() * meanGap)))
+	}
+
+	pushes := 0
+	if cfg.PushesPerHour > 0 {
+		pushRng := simclock.Rand(cfg.Seed + 2)
+		meanGap := float64(simclock.Hour) / cfg.PushesPerHour
+		var schedulePush func(at simclock.Time)
+		schedulePush = func(at simclock.Time) {
+			if at > simclock.Time(cfg.Duration) {
+				return
+			}
+			clock.Schedule(at, func() {
+				pushes++
+				dev.ExecuteWake(func() {
+					// Receiving the message costs a short Wi-Fi burst.
+					dev.RunTaskTagged("gcm-push", hw.MakeSet(hw.WiFi), simclock.Second)
+				})
+				schedulePush(at.Add(simclock.Duration(pushRng.ExpFloat64() * meanGap)))
+			})
+		}
+		schedulePush(simclock.Time(simclock.Duration(pushRng.ExpFloat64() * meanGap)))
+	}
+
+	clock.Run(simclock.Time(cfg.Duration))
+
+	appNames := map[string]bool{}
+	for _, s := range cfg.Workload {
+		appNames[s.Name] = true
+	}
+	var appRecs []alarm.Record
+	for _, r := range recs {
+		if appNames[r.App] {
+			appRecs = append(appRecs, r)
+		}
+	}
+
+	res := &Result{
+		Config:       cfg,
+		PolicyName:   pol.Name(),
+		Energy:       dev.Accountant().Snapshot(),
+		Records:      recs,
+		Delays:       metrics.Delays(appRecs),
+		DelaysAll:    metrics.Delays(recs),
+		Wakeups:      metrics.Wakeups(recs),
+		SpkVib:       metrics.SpeakerVibrator(recs),
+		Trace:        logger,
+		FinalWakeups: dev.Wakeups(),
+		Pushes:       pushes,
+	}
+	res.StandbyHours = profile.StandbyHours(res.Energy)
+	return res, nil
+}
+
+// RunTrials repeats the configuration with seeds Seed, Seed+1, ... —
+// the paper runs each experiment three times and reports the average.
+func RunTrials(cfg Config, trials int) ([]*Result, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("sim: non-positive trial count %d", trials)
+	}
+	results := make([]*Result, 0, trials)
+	for i := 0; i < trials; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		r, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// Comparison pairs a baseline run (typically NATIVE) with a candidate
+// run (typically SIMTY) over the same workload and seed.
+type Comparison struct {
+	Base, Test *Result
+}
+
+// TotalSavings is 1 − test/base of total standby energy (the paper's
+// Figure 3 headline: 20% light, 25% heavy).
+func (c Comparison) TotalSavings() float64 {
+	if b := c.Base.Energy.TotalMJ(); b > 0 {
+		return 1 - c.Test.Energy.TotalMJ()/b
+	}
+	return 0
+}
+
+// AwakeSavings is 1 − test/base of awake-attributable energy (the paper:
+// >33% for both workloads).
+func (c Comparison) AwakeSavings() float64 {
+	if b := c.Base.Energy.AwakeMJ(); b > 0 {
+		return 1 - c.Test.Energy.AwakeMJ()/b
+	}
+	return 0
+}
+
+// StandbyExtension is test/base − 1 of projected standby time (the
+// paper: one-fourth to one-third).
+func (c Comparison) StandbyExtension() float64 {
+	if c.Base.StandbyHours > 0 {
+		return c.Test.StandbyHours/c.Base.StandbyHours - 1
+	}
+	return 0
+}
+
+// WakeupReduction is 1 − test/base of total device wakeups.
+func (c Comparison) WakeupReduction() float64 {
+	if c.Base.FinalWakeups > 0 {
+		return 1 - float64(c.Test.FinalWakeups)/float64(c.Base.FinalWakeups)
+	}
+	return 0
+}
+
+// Compare runs the same configuration under two policies.
+func Compare(cfg Config, basePolicy, testPolicy string) (Comparison, error) {
+	b := cfg
+	b.Policy = basePolicy
+	base, err := Run(b)
+	if err != nil {
+		return Comparison{}, err
+	}
+	tc := cfg
+	tc.Policy = testPolicy
+	test, err := Run(tc)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{Base: base, Test: test}, nil
+}
+
+// StaticPeriodsByComponent extracts, for each hardware component, the
+// repeating intervals of the static alarms in the workload that wakelock
+// it — the input to metrics.LeastWakeups (§4.2's lower bound).
+func StaticPeriodsByComponent(specs []apps.Spec) map[hw.Component][]simclock.Duration {
+	out := map[hw.Component][]simclock.Duration{}
+	for _, s := range specs {
+		if s.Dynamic {
+			continue
+		}
+		for _, c := range s.HW.Components() {
+			out[c] = append(out[c], s.Period)
+		}
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+)
+
+func TestSmokeCompare(t *testing.T) {
+	for _, wl := range []struct {
+		name  string
+		specs []apps.Spec
+	}{{"light", apps.LightWorkload()}, {"heavy", apps.HeavyWorkload()}} {
+		cmp, err := Compare(Config{
+			Workload: wl.specs, SystemAlarms: true, OneShots: 6, Seed: 1,
+		}, "NATIVE", "SIMTY")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, s := cmp.Base, cmp.Test
+		t.Logf("== %s ==", wl.name)
+		t.Logf("NATIVE: wakeups=%d deliveries=%d energy=%s standby=%.1fh", b.FinalWakeups, len(b.Records), b.Energy.String(), b.StandbyHours)
+		t.Logf("SIMTY : wakeups=%d deliveries=%d energy=%s standby=%.1fh", s.FinalWakeups, len(s.Records), s.Energy.String(), s.StandbyHours)
+		t.Logf("savings: total=%.1f%% awake=%.1f%% ext=%.1f%% wakered=%.1f%%",
+			cmp.TotalSavings()*100, cmp.AwakeSavings()*100, cmp.StandbyExtension()*100, cmp.WakeupReduction()*100)
+		t.Logf("delays: NATIVE imp=%.3f%% perc=%.3f%% | SIMTY imp=%.2f%% perc=%.3f%%",
+			b.Delays.ImperceptibleMean*100, b.Delays.PerceptibleMean*100,
+			s.Delays.ImperceptibleMean*100, s.Delays.PerceptibleMean*100)
+		t.Logf("CPU: NATIVE %s SIMTY %s | WiFi: NATIVE %s SIMTY %s",
+			b.Wakeups.CPU, s.Wakeups.CPU, b.Wakeups.Component[2], s.Wakeups.Component[2])
+	}
+}
+
+func TestMotivatingSmoke(t *testing.T) {
+	for _, p := range []string{"NATIVE", "SIMTY"} {
+		r, err := Motivating(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: %.0f mJ, %d wakeups, batches %v", r.PolicyName, r.AlarmsMJ, r.Wakeups, r.Batches)
+	}
+}

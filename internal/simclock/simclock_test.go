@@ -1,0 +1,262 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroClock(t *testing.T) {
+	c := New()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Now() = %v, want 0", got)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", c.Len())
+	}
+	if c.Step() {
+		t.Fatal("Step() on empty clock reported an event")
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	c := New()
+	var order []int
+	c.Schedule(30, func() { order = append(order, 3) })
+	c.Schedule(10, func() { order = append(order, 1) })
+	c.Schedule(20, func() { order = append(order, 2) })
+	c.Run(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired in order %v, want [1 2 3]", order)
+	}
+	if c.Now() != 100 {
+		t.Fatalf("Now() = %v after Run(100)", c.Now())
+	}
+}
+
+func TestFIFOAtSameInstant(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(5, func() { order = append(order, i) })
+	}
+	c.Run(5)
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("same-instant events fired as %v, want FIFO", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	c := New()
+	fired := false
+	e := c.Schedule(10, func() { fired = true })
+	if !e.Pending() {
+		t.Fatal("freshly scheduled event not pending")
+	}
+	c.Cancel(e)
+	if e.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
+	c.Run(20)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double-cancel and nil-cancel are no-ops.
+	c.Cancel(e)
+	c.Cancel(nil)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	c := New()
+	var fired []int
+	var events []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		events = append(events, c.Schedule(Time(i), func() { fired = append(fired, i) }))
+	}
+	for i := 0; i < 20; i += 2 {
+		c.Cancel(events[i])
+	}
+	c.Run(100)
+	if len(fired) != 10 {
+		t.Fatalf("fired %d events, want 10", len(fired))
+	}
+	for _, i := range fired {
+		if i%2 == 0 {
+			t.Fatalf("cancelled event %d fired", i)
+		}
+	}
+}
+
+func TestScheduleDuringEvent(t *testing.T) {
+	c := New()
+	var order []string
+	c.Schedule(10, func() {
+		order = append(order, "a")
+		c.Schedule(c.Now(), func() { order = append(order, "b") }) // same instant
+		c.After(5, func() { order = append(order, "c") })
+	})
+	c.Run(20)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	c := New()
+	c.Schedule(10, func() {})
+	c.Run(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	c.Schedule(5, func() {})
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	c := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling nil callback did not panic")
+		}
+	}()
+	c.Schedule(5, nil)
+}
+
+func TestRunBackwardsPanics(t *testing.T) {
+	c := New()
+	c.Run(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run into the past did not panic")
+		}
+	}()
+	c.Run(50)
+}
+
+func TestRunBoundaryInclusive(t *testing.T) {
+	c := New()
+	fired := false
+	c.Schedule(100, func() { fired = true })
+	c.Run(100)
+	if !fired {
+		t.Fatal("event at the Run boundary did not fire")
+	}
+}
+
+func TestRunDoesNotFireBeyond(t *testing.T) {
+	c := New()
+	fired := false
+	c.Schedule(101, func() { fired = true })
+	c.Run(100)
+	if fired {
+		t.Fatal("event beyond the Run horizon fired")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1 pending event", c.Len())
+	}
+}
+
+func TestStepAdvancesClock(t *testing.T) {
+	c := New()
+	c.Schedule(42, func() {})
+	if !c.Step() {
+		t.Fatal("Step() found no event")
+	}
+	if c.Now() != 42 {
+		t.Fatalf("Now() = %v after Step, want 42", c.Now())
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	var t0 Time = 1000
+	if got := t0.Add(500); got != 1500 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Time(1500).Sub(t0); got != 500 {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Fatalf("Seconds = %v", got)
+	}
+	if Hour != 3600*Second {
+		t.Fatalf("Hour = %d", Hour)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if got := Time(1500).String(); got != "1.500s" {
+		t.Fatalf("Time.String = %q", got)
+	}
+	if got := (Second / 2).String(); got != "0.500s" {
+		t.Fatalf("Duration.String = %q", got)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := Rand(7), Rand(7)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	if Rand(1).Int63() == Rand(2).Int63() {
+		t.Fatal("different seeds produced identical first values (suspicious)")
+	}
+}
+
+// Property: events always fire in nondecreasing time order regardless of
+// insertion order, and the clock never moves backwards.
+func TestPropertyMonotoneFiring(t *testing.T) {
+	prop := func(offsets []uint16) bool {
+		c := New()
+		var fired []Time
+		for _, off := range offsets {
+			at := Time(off)
+			c.Schedule(at, func() { fired = append(fired, at) })
+		}
+		c.Run(Time(1 << 20))
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset removes exactly that subset.
+func TestPropertyCancelSubset(t *testing.T) {
+	prop := func(offsets []uint16, mask []bool) bool {
+		c := New()
+		firedCount := 0
+		var evs []*Event
+		for _, off := range offsets {
+			evs = append(evs, c.Schedule(Time(off), func() { firedCount++ }))
+		}
+		cancelled := 0
+		for i, e := range evs {
+			if i < len(mask) && mask[i] {
+				c.Cancel(e)
+				cancelled++
+			}
+		}
+		c.Run(Time(1 << 20))
+		return firedCount == len(offsets)-cancelled
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if !approx(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single-value stddev")
+	}
+	if !approx(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2.13808993529939) {
+		t.Fatalf("stddev = %v", StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}))
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Fatal("min/max wrong")
+	}
+	if Median(xs) != 3 {
+		t.Fatalf("odd median = %v", Median(xs))
+	}
+	if !approx(Median([]float64{1, 2, 3, 4}), 2.5) {
+		t.Fatal("even median wrong")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty cases wrong")
+	}
+	// Median must not mutate its input.
+	if xs[0] != 3 {
+		t.Fatal("Median sorted the caller's slice")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	if CI95([]float64{1}) != 0 {
+		t.Fatal("single-value CI")
+	}
+	// n=3 (the paper's trial count): t(0.975, df=2) = 4.303.
+	xs := []float64{10, 12, 14}
+	want := 4.303 * StdDev(xs) / math.Sqrt(3)
+	if !approx(CI95(xs), want) {
+		t.Fatalf("CI95 = %v, want %v", CI95(xs), want)
+	}
+	// Large n falls back to the normal critical value.
+	big := make([]float64, 100)
+	for i := range big {
+		big[i] = float64(i % 2)
+	}
+	want = 1.96 * StdDev(big) / 10
+	if !approx(CI95(big), want) {
+		t.Fatalf("large-n CI95 = %v, want %v", CI95(big), want)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !strings.Contains(s.String(), "n=3") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestCollector(t *testing.T) {
+	c := NewCollector()
+	c.Add("energy", 10)
+	c.Add("energy", 12)
+	c.Add("delay", 0.1)
+	if got := c.Names(); len(got) != 2 || got[0] != "energy" || got[1] != "delay" {
+		t.Fatalf("names = %v", got)
+	}
+	if len(c.Get("energy")) != 2 {
+		t.Fatal("observations lost")
+	}
+	if c.Summary("energy").Mean != 11 {
+		t.Fatal("summary wrong")
+	}
+	if c.Summary("missing").N != 0 {
+		t.Fatal("missing metric should summarize empty")
+	}
+}
+
+// Property: Min ≤ Median ≤ Max and Min ≤ Mean ≤ Max.
+func TestPropertyOrderStatistics(t *testing.T) {
+	prop := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		mn, mx, md, mean := Min(xs), Max(xs), Median(xs), Mean(xs)
+		return mn <= md && md <= mx && mn <= mean+1e-9 && mean <= mx+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: StdDev of a constant series is zero; shifting data leaves
+// StdDev unchanged.
+func TestPropertyStdDevShiftInvariant(t *testing.T) {
+	prop := func(raw []int16, shift int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+			ys[i] = float64(v) + float64(shift)
+		}
+		return math.Abs(StdDev(xs)-StdDev(ys)) < 1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

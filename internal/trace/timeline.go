@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/hw"
+	"repro/internal/simclock"
+)
+
+// Timeline renders the trace as an ASCII chart over [from, to]: one row
+// per hardware component that was powered in the window ('#' while
+// powered), plus a deliveries row ('|' per delivery instant, '+' when
+// several fall into one cell). It is the quickest way to *see* what an
+// alignment policy did — NATIVE shows a picket fence of scattered
+// wakeups, SIMTY shows sparse dense columns.
+func Timeline(events []Event, from, to simclock.Time, width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	if to <= from {
+		return ""
+	}
+	span := float64(to.Sub(from))
+	cell := func(at simclock.Time) int {
+		i := int(float64(at.Sub(from)) / span * float64(width))
+		if i < 0 {
+			i = 0
+		}
+		if i >= width {
+			i = width - 1
+		}
+		return i
+	}
+
+	rows := map[hw.Component][]byte{}
+	row := func(c hw.Component) []byte {
+		if r, ok := rows[c]; ok {
+			return r
+		}
+		r := []byte(strings.Repeat(".", width))
+		rows[c] = r
+		return r
+	}
+	deliveries := []byte(strings.Repeat(".", width))
+
+	onSince := map[hw.Component]simclock.Time{}
+	paint := func(c hw.Component, a, b simclock.Time) {
+		if b < from || a > to {
+			return
+		}
+		if a < from {
+			a = from
+		}
+		if b > to {
+			b = to
+		}
+		r := row(c)
+		for i := cell(a); i <= cell(b); i++ {
+			r[i] = '#'
+		}
+	}
+
+	for _, e := range events {
+		switch e.Kind {
+		case EventComponentOn:
+			onSince[e.Component] = e.At
+		case EventComponentOff:
+			if since, ok := onSince[e.Component]; ok {
+				paint(e.Component, since, e.At)
+				delete(onSince, e.Component)
+			}
+		case EventDelivery:
+			if e.At < from || e.At > to {
+				continue
+			}
+			i := cell(e.At)
+			switch deliveries[i] {
+			case '.':
+				deliveries[i] = '|'
+			default:
+				deliveries[i] = '+'
+			}
+		}
+	}
+	for c, since := range onSince {
+		paint(c, since, to)
+	}
+
+	var comps []hw.Component
+	for c := range rows {
+		comps = append(comps, c)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i] < comps[j] })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %s\n", "time", fmt.Sprintf("%v … %v", from, to))
+	fmt.Fprintf(&b, "%-16s %s\n", "deliveries", deliveries)
+	for _, c := range comps {
+		fmt.Fprintf(&b, "%-16s %s\n", c.String(), rows[c])
+	}
+	return b.String()
+}

@@ -1,0 +1,167 @@
+// Package trace records the runtime events of a simulation the way the
+// paper's instrumentation hooks did ("we inserted several hooks into the
+// hardware WakeLock APIs, as well as AlarmManager, in the Android
+// framework to log every alarm's time attributes and hardware usage at
+// runtime", §4.1). Traces can be exported as CSV or JSON for offline
+// analysis and replayed through any consumer.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/alarm"
+	"repro/internal/hw"
+	"repro/internal/simclock"
+)
+
+// EventKind classifies trace events.
+type EventKind uint8
+
+const (
+	// EventDelivery is an alarm delivery.
+	EventDelivery EventKind = iota
+	// EventComponentOn is a hardware component powering on.
+	EventComponentOn
+	// EventComponentOff is a hardware component powering off.
+	EventComponentOff
+	// EventTaskStart is a tagged task acquiring its wakelocks.
+	EventTaskStart
+	// EventTaskEnd is a tagged task releasing its wakelocks.
+	EventTaskEnd
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventDelivery:
+		return "delivery"
+	case EventComponentOn:
+		return "on"
+	case EventComponentOff:
+		return "off"
+	case EventTaskStart:
+		return "task-start"
+	case EventTaskEnd:
+		return "task-end"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is one logged runtime event.
+type Event struct {
+	At   simclock.Time `json:"at_ms"`
+	Kind EventKind     `json:"kind"`
+	// Component is set for on/off events.
+	Component hw.Component `json:"component,omitempty"`
+	// Delivery is set for delivery events.
+	Delivery *alarm.Record `json:"delivery,omitempty"`
+	// Tag and Set are set for task events: the wakelock tag (owning app)
+	// and the component set the task holds.
+	Tag string `json:"tag,omitempty"`
+	Set hw.Set `json:"set,omitempty"`
+}
+
+// Logger accumulates events. Subscribe it to a wakelock manager
+// (hw.TransitionListener) and install Record as the manager's record
+// sink (possibly chained with the metrics collector).
+type Logger struct {
+	clock  *simclock.Clock
+	events []Event
+}
+
+// NewLogger returns a logger stamping events with the given clock.
+func NewLogger(clock *simclock.Clock) *Logger {
+	if clock == nil {
+		panic("trace: NewLogger with nil clock")
+	}
+	return &Logger{clock: clock}
+}
+
+// ComponentOn implements hw.TransitionListener.
+func (l *Logger) ComponentOn(c hw.Component) {
+	l.events = append(l.events, Event{At: l.clock.Now(), Kind: EventComponentOn, Component: c})
+}
+
+// ComponentOff implements hw.TransitionListener.
+func (l *Logger) ComponentOff(c hw.Component) {
+	l.events = append(l.events, Event{At: l.clock.Now(), Kind: EventComponentOff, Component: c})
+}
+
+// Task logs a task lifecycle transition; it matches the signature of
+// device.Device.OnTask.
+func (l *Logger) Task(tag string, set hw.Set, start bool) {
+	kind := EventTaskEnd
+	if start {
+		kind = EventTaskStart
+	}
+	l.events = append(l.events, Event{At: l.clock.Now(), Kind: kind, Tag: tag, Set: set})
+}
+
+// Record logs an alarm delivery.
+func (l *Logger) Record(r alarm.Record) {
+	r2 := r
+	l.events = append(l.events, Event{At: l.clock.Now(), Kind: EventDelivery, Delivery: &r2})
+}
+
+// Events returns the log in chronological order.
+func (l *Logger) Events() []Event { return l.events }
+
+// Deliveries extracts just the delivery records.
+func (l *Logger) Deliveries() []alarm.Record {
+	var out []alarm.Record
+	for _, e := range l.events {
+		if e.Kind == EventDelivery {
+			out = append(out, *e.Delivery)
+		}
+	}
+	return out
+}
+
+// WriteCSV exports the log with one row per event.
+func (l *Logger) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_ms,kind,component,alarm,app,hw,session,delay_norm"); err != nil {
+		return err
+	}
+	for _, e := range l.events {
+		var err error
+		switch e.Kind {
+		case EventDelivery:
+			d := e.Delivery
+			_, err = fmt.Fprintf(w, "%d,%s,,%s,%s,%s,%d,%.4f\n",
+				int64(e.At), e.Kind, d.AlarmID, d.App, d.HW, d.Session, d.NormalizedDelay())
+		case EventTaskStart, EventTaskEnd:
+			_, err = fmt.Fprintf(w, "%d,%s,,,%s,%s,,\n", int64(e.At), e.Kind, e.Tag, e.Set)
+		default:
+			_, err = fmt.Fprintf(w, "%d,%s,%s,,,,,\n", int64(e.At), e.Kind, e.Component)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON exports the log as a JSON array.
+func (l *Logger) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l.events)
+}
+
+// ReadJSON parses a log previously written with WriteJSON.
+func ReadJSON(r io.Reader) ([]Event, error) {
+	var events []Event
+	if err := json.NewDecoder(r).Decode(&events); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return events, nil
+}
+
+// Replay feeds each event to fn in order, returning the count replayed.
+func Replay(events []Event, fn func(Event)) int {
+	for _, e := range events {
+		fn(e)
+	}
+	return len(events)
+}

@@ -1,0 +1,109 @@
+// Package repro is the public facade of SIMTY-Go, a full reproduction of
+// "Similarity-Based Wakeup Management for Mobile Systems in Connected
+// Standby" (Kao, Cheng, Hsiu — DAC 2016).
+//
+// The paper's Android testbed is replaced by a deterministic
+// discrete-event simulation of a mobile device in connected standby: an
+// AlarmManager substrate with Android's native batching (internal/alarm),
+// the SIMTY similarity-based alignment policy (internal/core), a device
+// power model calibrated against the paper's Monsoon measurements
+// (internal/power, internal/device), and the paper's 18-app workload
+// catalog (internal/apps).
+//
+// Quick start:
+//
+//	cmp, err := repro.Compare(repro.Config{
+//	    Workload:     repro.LightWorkload(),
+//	    SystemAlarms: true,
+//	}, "NATIVE", "SIMTY")
+//	fmt.Printf("standby time extended by %.0f%%\n", cmp.StandbyExtension()*100)
+//
+// See cmd/report for regenerating every table and figure of the paper's
+// evaluation, and the examples/ directory for runnable scenarios.
+package repro
+
+import (
+	"repro/internal/alarm"
+	"repro/internal/apps"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/simclock"
+)
+
+// Core simulation types, re-exported from internal/sim.
+type (
+	// Config describes one connected-standby run: workload, policy,
+	// horizon, grace factor β, and seed.
+	Config = sim.Config
+	// Result is a finished run with its energy breakdown, delivery
+	// records, delay statistics, and wakeup breakdown.
+	Result = sim.Result
+	// Comparison pairs a baseline run with a candidate run.
+	Comparison = sim.Comparison
+	// AppSpec describes one application's major alarm (Table 3 row).
+	AppSpec = apps.Spec
+	// MotivatingResult is the outcome of the Figure 2 example.
+	MotivatingResult = sim.MotivatingResult
+	// Policy is the alignment-policy interface: implement it and set
+	// Config.Custom to plug a new policy into the simulator (see
+	// examples/custompolicy).
+	Policy = alarm.Policy
+	// Alarm is one registered alarm as the policy sees it.
+	Alarm = alarm.Alarm
+	// Entry is a queue entry (batch of alarms delivered together).
+	Entry = alarm.Entry
+	// Profile is a device power model.
+	Profile = power.Profile
+	// Time is a virtual-time instant in milliseconds.
+	Time = simclock.Time
+	// Duration is a virtual-time span in milliseconds.
+	Duration = simclock.Duration
+)
+
+// Virtual-time units.
+const (
+	Millisecond = simclock.Millisecond
+	Second      = simclock.Second
+	Minute      = simclock.Minute
+	Hour        = simclock.Hour
+)
+
+// DefaultBeta is the paper's grace factor (0.96).
+const DefaultBeta = sim.DefaultBeta
+
+// DefaultDuration is the paper's 3-hour horizon.
+const DefaultDuration = sim.DefaultDuration
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) { return sim.Run(cfg) }
+
+// RunTrials repeats a configuration with consecutive seeds.
+func RunTrials(cfg Config, trials int) ([]*Result, error) { return sim.RunTrials(cfg, trials) }
+
+// Compare runs the same configuration under a baseline and a candidate
+// policy.
+func Compare(cfg Config, base, test string) (Comparison, error) {
+	return sim.Compare(cfg, base, test)
+}
+
+// Motivating reproduces the paper's Figure 2 three-alarm example under
+// the named policy.
+func Motivating(policy string) (*sim.MotivatingResult, error) { return sim.Motivating(policy) }
+
+// PolicyNames lists the available alignment policies: NATIVE, NOALIGN,
+// SIMTY, SIMTY-hw2, SIMTY-hw4, SIMTY-DUR.
+func PolicyNames() []string { return sim.PolicyNames() }
+
+// Table3 returns the paper's 18-app catalog.
+func Table3() []AppSpec { return apps.Table3() }
+
+// LightWorkload returns the paper's light scenario (12 apps: Alarm Clock
+// plus 11 Wi-Fi-only apps).
+func LightWorkload() []AppSpec { return apps.LightWorkload() }
+
+// HeavyWorkload returns the paper's heavy scenario (all 18 apps).
+func HeavyWorkload() []AppSpec { return apps.HeavyWorkload() }
+
+// Nexus5 returns the LG Nexus 5 power profile calibrated against the
+// paper's measurements.
+func Nexus5() *Profile { return power.Nexus5() }

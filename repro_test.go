@@ -1,0 +1,140 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The facade tests double as the repository's top-level acceptance
+// tests: they assert the README's headline table from the public API.
+
+func TestFacadeWorkloads(t *testing.T) {
+	if len(Table3()) != 18 || len(LightWorkload()) != 12 || len(HeavyWorkload()) != 18 {
+		t.Fatal("workload catalogs wrong")
+	}
+	if len(PolicyNames()) < 6 {
+		t.Fatalf("policies = %v", PolicyNames())
+	}
+	if Nexus5() == nil || Nexus5().BatteryMJ <= 0 {
+		t.Fatal("profile wrong")
+	}
+	if DefaultBeta != 0.96 || DefaultDuration != 3*Hour {
+		t.Fatal("paper constants wrong")
+	}
+}
+
+func TestFacadeHeadlineClaims(t *testing.T) {
+	for _, wl := range []struct {
+		name  string
+		specs []AppSpec
+	}{{"light", LightWorkload()}, {"heavy", HeavyWorkload()}} {
+		cmp, err := Compare(Config{Workload: wl.specs, SystemAlarms: true, OneShots: 6, Seed: 1},
+			"NATIVE", "SIMTY")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// README: total savings ≈20–28%, extension ≈25–40%, SIMTY
+		// wakeups a small fraction of NATIVE's.
+		if s := cmp.TotalSavings(); s < 0.15 || s > 0.35 {
+			t.Errorf("%s: total savings %.1f%% outside the documented band", wl.name, s*100)
+		}
+		if e := cmp.StandbyExtension(); e < 0.20 || e > 0.45 {
+			t.Errorf("%s: extension %.1f%% outside the documented band", wl.name, e*100)
+		}
+		if f := float64(cmp.Test.FinalWakeups) / float64(cmp.Base.FinalWakeups); f > 0.5 {
+			t.Errorf("%s: SIMTY kept %.0f%% of NATIVE's wakeups", wl.name, f*100)
+		}
+	}
+}
+
+func TestFacadeMotivating(t *testing.T) {
+	n, err := Motivating("NATIVE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Motivating("SIMTY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// README: 7,548 mJ vs 4,208 mJ (paper: 7,520 vs 4,050).
+	if n.AlarmsMJ < 7000 || n.AlarmsMJ > 8000 {
+		t.Fatalf("NATIVE motivating = %.0f mJ", n.AlarmsMJ)
+	}
+	if s.AlarmsMJ < 3800 || s.AlarmsMJ > 4600 {
+		t.Fatalf("SIMTY motivating = %.0f mJ", s.AlarmsMJ)
+	}
+	if _, err := Motivating("BOGUS"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+// TestFacadeCustomPolicy exercises the Policy plug-in point end to end
+// with a trivial "always new entry" policy, which must behave exactly
+// like NOALIGN.
+func TestFacadeCustomPolicy(t *testing.T) {
+	cfg := Config{Workload: LightWorkload(), Seed: 1, Duration: Hour}
+	custom := cfg
+	custom.Custom = alwaysNew{}
+	a, err := Run(custom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noalign := cfg
+	noalign.Policy = "NOALIGN"
+	b, err := Run(noalign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Energy.TotalMJ() != b.Energy.TotalMJ() || a.FinalWakeups != b.FinalWakeups {
+		t.Fatal("custom always-new policy diverged from NOALIGN")
+	}
+	if a.PolicyName != "always-new" {
+		t.Fatalf("PolicyName = %q", a.PolicyName)
+	}
+}
+
+type alwaysNew struct{}
+
+func (alwaysNew) Name() string                      { return "always-new" }
+func (alwaysNew) Select([]*Entry, *Alarm, Time) int { return -1 }
+
+// TestFacadeAllPoliciesRun is a stress sweep: every registered policy
+// completes the heavy workload with pushes, system alarms, and one-shots
+// without violating basic invariants.
+func TestFacadeAllPoliciesRun(t *testing.T) {
+	for _, p := range PolicyNames() {
+		r, err := Run(Config{Workload: HeavyWorkload(), SystemAlarms: true, OneShots: 5,
+			PushesPerHour: 4, Policy: p, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(r.Records) == 0 || r.FinalWakeups == 0 {
+			t.Fatalf("%s: degenerate run", p)
+		}
+		if r.Energy.TotalMJ() <= r.Energy.SleepMJ {
+			t.Fatalf("%s: no awake energy", p)
+		}
+		if r.Energy.WakeTransitions != r.FinalWakeups {
+			t.Fatalf("%s: accountant transitions %d != device wakeups %d",
+				p, r.Energy.WakeTransitions, r.FinalWakeups)
+		}
+		for _, rec := range r.Records {
+			if rec.Delivered < rec.Nominal {
+				t.Fatalf("%s: delivery before nominal", p)
+			}
+			if rec.Session <= 0 || rec.Session > r.FinalWakeups {
+				t.Fatalf("%s: bogus session id %d", p, rec.Session)
+			}
+		}
+	}
+}
+
+// TestTable1IsWired sanity-checks that the facade's policy really uses
+// the paper's Table 1 (guards against the facade and internal/core
+// drifting apart).
+func TestTable1IsWired(t *testing.T) {
+	if core.Rank(core.High, core.High) != 1 || core.Rank(core.Low, core.Medium) != 6 {
+		t.Fatal("Table 1 ranks changed")
+	}
+}
