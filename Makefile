@@ -1,0 +1,27 @@
+# Development targets for the SIMTY-Go reproduction.
+#
+#   make verify   — the full pre-merge gate: vet, build, race tests,
+#                   and a single-shot pass over the queue
+#                   microbenchmarks (smoke, not measurement).
+#   make test     — tier-1 tests only (what CI must keep green).
+#   make bench    — the queue scaling microbenchmarks, measured.
+
+GO ?= go
+
+.PHONY: verify test bench vet build
+
+verify: vet build
+	$(GO) test -race ./...
+	$(GO) test ./internal/alarm/ -run '^$$' -bench 'Queue(Insert|Find|PopDue|Realign)' -benchtime=1x -short -timeout 10m
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+bench:
+	$(GO) test ./internal/alarm/ -run '^$$' -bench 'Queue(Insert|Find|PopDue|Realign)' -benchtime=100x -timeout 30m

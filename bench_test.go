@@ -219,7 +219,11 @@ func BenchmarkAblationDuration(b *testing.B) {
 
 // --- Microbenchmarks: the policies' queue-insertion cost. The paper
 // notes realignment costs "slight computation overhead"; these measure
-// the per-insertion price of NATIVE vs SIMTY decision making.
+// the per-insertion price of NATIVE vs SIMTY decision making at the
+// paper's own population scale (64 alarms). For the large-population
+// hot-path suite (Insert/Find/PopDue/Realign at 100…100k resident
+// alarms), see internal/alarm/queue_bench_test.go and the "Queue
+// scaling" section of EXPERIMENTS.md.
 
 func benchQueueInsert(b *testing.B, p alarm.Policy) {
 	wifi := hw.MakeSet(hw.WiFi)

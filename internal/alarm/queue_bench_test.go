@@ -1,0 +1,161 @@
+package alarm_test
+
+// Queue hot-path microbenchmarks at large resident-alarm populations.
+// The paper's workloads top out at 18 apps; the ROADMAP's north star is
+// populations three to four orders of magnitude beyond that, so these
+// benchmarks measure the per-operation cost of Insert, Remove, PopDue
+// and the §2.1 realignment path at 100 … 100k queued alarms under
+// NATIVE, SIMTY, and NOALIGN. EXPERIMENTS.md ("Queue scaling") records
+// the seed-vs-indexed numbers.
+//
+// This file lives in package alarm_test (not alarm) so it can use the
+// real SIMTY policy from internal/core without an import cycle.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/alarm"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/simclock"
+)
+
+// benchSizes are the resident-alarm populations benchmarked. 100k is
+// only reachable with the indexed queue; the seed implementation needs
+// minutes just to build the fixture at that size.
+var benchSizes = []int{100, 1_000, 10_000, 100_000}
+
+func benchPolicies() []alarm.Policy {
+	return []alarm.Policy{alarm.Native{}, core.NewSimty(), alarm.NoAlign{}}
+}
+
+// benchAlarm builds a deterministic alarm whose nominal times spread
+// over a wide horizon, so entry counts stay proportional to the
+// population instead of collapsing into a handful of batches.
+func benchAlarm(id string, i, n int) *alarm.Alarm {
+	period := simclock.Duration(300+(i*37)%900) * simclock.Second
+	return &alarm.Alarm{
+		ID:      id,
+		Repeat:  alarm.Static,
+		Nominal: simclock.Time(simclock.Duration((i*7919)%(n*10)) * simclock.Second),
+		Period:  period,
+		Window:  period / 4,
+		Grace:   period / 2,
+		HW:      hw.MakeSet(hw.WiFi),
+		HWKnown: true,
+	}
+}
+
+func buildQueue(b *testing.B, p alarm.Policy, n int) *alarm.Queue {
+	b.Helper()
+	q := &alarm.Queue{}
+	for i := 0; i < n; i++ {
+		q.Insert(benchAlarm(fmt.Sprintf("a%d", i), i, n), p, 0)
+	}
+	if q.AlarmCount() != n {
+		b.Fatalf("fixture holds %d alarms, want %d", q.AlarmCount(), n)
+	}
+	return q
+}
+
+// maxBenchSize caps the fixture size: the seed queue cannot build the
+// 100k fixture in reasonable time, so -short skips the largest sizes.
+func skipIfHuge(b *testing.B, n int) {
+	if testing.Short() && n > 10_000 {
+		b.Skipf("skipping n=%d in -short mode", n)
+	}
+}
+
+// BenchmarkQueueInsert measures one Insert+Remove pair against a
+// resident population of n alarms (the pair keeps the population
+// constant across iterations).
+func BenchmarkQueueInsert(b *testing.B) {
+	for _, p := range benchPolicies() {
+		for _, n := range benchSizes {
+			b.Run(fmt.Sprintf("%s/n=%d", p.Name(), n), func(b *testing.B) {
+				skipIfHuge(b, n)
+				q := buildQueue(b, p, n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					a := benchAlarm("bench", n/2, n)
+					q.Insert(a, p, 0)
+					q.Remove("bench")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkQueueFind measures ID lookup against n resident alarms.
+func BenchmarkQueueFind(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			skipIfHuge(b, n)
+			q := buildQueue(b, alarm.NoAlign{}, n)
+			ids := make([]string, n)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("a%d", i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if q.Find(ids[(i*31)%n]) == nil {
+					b.Fatal("lookup missed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueuePopDue measures draining the due prefix and reinserting
+// it, the steady-state delivery cycle of Manager.deliverDue.
+func BenchmarkQueuePopDue(b *testing.B) {
+	for _, p := range benchPolicies() {
+		for _, n := range benchSizes {
+			b.Run(fmt.Sprintf("%s/n=%d", p.Name(), n), func(b *testing.B) {
+				skipIfHuge(b, n)
+				q := buildQueue(b, p, n)
+				// Pop the earliest ~1% of the horizon each iteration.
+				cut := simclock.Time(simclock.Duration(n/10) * simclock.Second)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					due := q.PopDue(cut)
+					for _, e := range due {
+						for _, a := range e.Alarms {
+							q.Insert(a, p, 0)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// realign re-registers alarm a through the §2.1 realignment path,
+// mirroring what Manager.Set does for a queued duplicate. (The seed
+// implementation inlined the equivalent clear-and-reinsert loop in
+// Manager.Set; its numbers in EXPERIMENTS.md were measured with that
+// loop transplanted here.)
+func realign(q *alarm.Queue, a *alarm.Alarm, p alarm.Policy) {
+	q.Realign(a, p, 0)
+}
+
+// BenchmarkQueueRealign measures the §2.1 realignment-on-reinsert path:
+// one queued alarm is re-registered and the whole queue is rebuilt in
+// nominal order. This is the operation that was O(n²) in the seed.
+func BenchmarkQueueRealign(b *testing.B) {
+	for _, p := range benchPolicies() {
+		for _, n := range benchSizes {
+			b.Run(fmt.Sprintf("%s/n=%d", p.Name(), n), func(b *testing.B) {
+				skipIfHuge(b, n)
+				q := buildQueue(b, p, n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					a := benchAlarm("a0", 0, n)
+					q.Remove(a.ID)
+					realign(q, a, p)
+				}
+			})
+		}
+	}
+}

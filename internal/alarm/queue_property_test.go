@@ -16,11 +16,13 @@ import (
 //  3. each alarm ID appears exactly once;
 //  4. every entry's attributes equal a from-scratch recomputation over
 //     its members (intersection windows/graces, union hardware,
-//     perceptibility OR).
+//     perceptibility OR);
+//  5. the ID index and alarm count agree exactly with the entry list.
 func checkQueueInvariants(t *testing.T, q *Queue) error {
 	t.Helper()
 	seen := map[string]bool{}
 	var prev simclock.Time = -1 << 62
+	total := 0
 	for _, e := range q.Entries() {
 		if e.Len() == 0 {
 			return fmt.Errorf("empty entry in queue")
@@ -29,6 +31,7 @@ func checkQueueInvariants(t *testing.T, q *Queue) error {
 			return fmt.Errorf("queue not sorted: %v after %v", e.DeliveryTime(), prev)
 		}
 		prev = e.DeliveryTime()
+		total += e.Len()
 		// Recompute attributes from scratch.
 		var fresh Entry
 		for _, a := range e.Alarms {
@@ -40,8 +43,30 @@ func checkQueueInvariants(t *testing.T, q *Queue) error {
 		}
 		if fresh.WinStart != e.WinStart || fresh.WinEnd != e.WinEnd ||
 			fresh.GraceStart != e.GraceStart || fresh.GraceEnd != e.GraceEnd ||
-			fresh.HW != e.HW || fresh.Perceptible != e.Perceptible {
+			fresh.HW != e.HW || fresh.Perceptible != e.Perceptible ||
+			fresh.HasExact() != e.HasExact() {
 			return fmt.Errorf("entry attributes stale:\n have %v\n want %v", e, &fresh)
+		}
+	}
+	return checkQueueIndex(q, seen, total)
+}
+
+// checkQueueIndex asserts the ID→entry map is exactly the member list:
+// every queued ID maps to the entry that holds it, no stale keys
+// linger, and the cached alarm count matches.
+func checkQueueIndex(q *Queue, ids map[string]bool, total int) error {
+	if q.count != total {
+		return fmt.Errorf("count = %d, entries hold %d alarms", q.count, total)
+	}
+	if len(q.byID) != total {
+		return fmt.Errorf("index holds %d IDs, entries hold %d alarms", len(q.byID), total)
+	}
+	for id, e := range q.byID {
+		if !ids[id] {
+			return fmt.Errorf("index holds stale ID %s", id)
+		}
+		if e == nil || e.find(id) < 0 {
+			return fmt.Errorf("index maps %s to an entry that lacks it", id)
 		}
 	}
 	return nil
@@ -102,6 +127,66 @@ func (joinAny) Select(entries []*Entry, _ *Alarm, _ simclock.Time) int {
 		}
 	}
 	return best
+}
+
+// TestPropertyManagerCrossQueueConsistency drives random
+// Set/Cancel/re-register sequences — including Kind changes on
+// re-registration — through a Manager and checks, after every
+// operation, that alarm IDs stay unique across both queues and that
+// each queue's ID index stays consistent with its entry list.
+func TestPropertyManagerCrossQueueConsistency(t *testing.T) {
+	for _, realign := range []bool{true, false} {
+		prop := func(ops []uint16) bool {
+			c := simclock.New()
+			h := newFakeHost(c, 0)
+			m := NewManager(c, h, Native{})
+			m.SetRealign(realign)
+			for i, op := range ops {
+				id := fmt.Sprintf("m%d", int(op)%16)
+				switch {
+				case op%7 == 0:
+					m.Cancel(id)
+				default:
+					kind := Wakeup
+					if op%3 == 0 {
+						kind = NonWakeup
+					}
+					period := simclock.Duration(60+int(op)%600) * simclock.Second
+					a := &Alarm{
+						ID: id, Kind: kind, Repeat: Static,
+						Nominal: simclock.Time(simclock.Duration(int(op)%1000) * simclock.Second),
+						Period:  period,
+						Window:  period / 4,
+						Grace:   period / 2,
+						HW:      hw.MakeSet(hw.WiFi),
+						HWKnown: op%2 == 0,
+					}
+					if err := m.Set(a); err != nil {
+						t.Logf("realign=%t op %d: Set: %v", realign, i, err)
+						return false
+					}
+				}
+				wq, nq := m.QueueFor(Wakeup), m.QueueFor(NonWakeup)
+				for _, q := range []*Queue{wq, nq} {
+					if err := checkQueueInvariants(t, q); err != nil {
+						t.Logf("realign=%t op %d: %v", realign, i, err)
+						return false
+					}
+				}
+				// No ID may live in both queues at once.
+				for _, a := range wq.Alarms() {
+					if nq.Find(a.ID) != nil {
+						t.Logf("realign=%t op %d: %s queued in both queues", realign, i, a.ID)
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+			t.Fatalf("realign=%t: %v", realign, err)
+		}
+	}
 }
 
 // TestQueueScalesToHundredsOfAlarms is a volume smoke test: 300 alarms
