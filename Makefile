@@ -1,10 +1,14 @@
 # Development targets for the SIMTY-Go reproduction.
 #
 #   make verify   — the full pre-merge gate: vet, build, race tests,
-#                   and a single-shot pass over the queue
+#                   a repeated race pass over the parallel-harness
+#                   paths, and a single-shot pass over the queue
 #                   microbenchmarks (smoke, not measurement).
 #   make test     — tier-1 tests only (what CI must keep green).
 #   make bench    — the queue scaling microbenchmarks, measured.
+#
+# CI runs `make verify` on every push and pull request
+# (.github/workflows/ci.yml).
 
 GO ?= go
 
@@ -12,6 +16,7 @@ GO ?= go
 
 verify: vet build
 	$(GO) test -race ./...
+	$(GO) test -race -count=2 -run 'RunAll|RunTrials|CompareTrials|Sweep|GoldenRecordParity' ./internal/sim/ .
 	$(GO) test ./internal/alarm/ -run '^$$' -bench 'Queue(Insert|Find|PopDue|Realign)' -benchtime=1x -short -timeout 10m
 
 vet:

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -270,6 +271,75 @@ func BenchmarkSimilarity(b *testing.B) {
 		_ = core.HardwareSimilarity(a, c)
 	}
 }
+
+// --- Harness scaling: the evaluation's multi-run paths, serial vs the
+// RunAll worker pool. The grid is the paper's full evaluation matrix —
+// 2 workloads × 6 policies × 3 trials = 36 independent runs — and the
+// 50× sweep is PR 1's large-population NATIVE/SIMTY pair. Results are
+// byte-identical either way (the runs share nothing); only wall time
+// changes. EXPERIMENTS.md "Harness scaling" records the measured
+// numbers; on an N-core runner the pool approaches min(N, runs)×.
+
+// trialsGrid builds the full evaluation grid.
+func trialsGrid() []Config {
+	var cfgs []Config
+	for _, wl := range []struct {
+		name  string
+		specs []AppSpec
+	}{{"light", LightWorkload()}, {"heavy", HeavyWorkload()}} {
+		for _, policy := range []string{"NATIVE", "NOALIGN", "SIMTY", "SIMTY-hw2", "SIMTY-hw4", "SIMTY-DUR"} {
+			for trial := 0; trial < 3; trial++ {
+				cfg := experimentConfig(wl.specs, policy)
+				cfg.Name = wl.name
+				cfg.Seed = int64(1 + trial)
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	return cfgs
+}
+
+// sweep50x builds the 600-resident-app NATIVE/SIMTY pair (50× the
+// paper's light workload).
+func sweep50x() []Config {
+	var specs []AppSpec
+	for c := 0; c < 50; c++ {
+		for _, s := range LightWorkload() {
+			s2 := s
+			if c > 0 {
+				s2.Name = fmt.Sprintf("%s#%d", s.Name, c)
+			}
+			specs = append(specs, s2)
+		}
+	}
+	return []Config{
+		{Workload: specs, SystemAlarms: true, Seed: 1, Policy: "NATIVE"},
+		{Workload: specs, SystemAlarms: true, Seed: 1, Policy: "SIMTY"},
+	}
+}
+
+func benchSerial(b *testing.B, cfgs []Config) {
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range cfgs {
+			if _, err := Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchParallel(b *testing.B, cfgs []Config) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunAll(context.Background(), cfgs, RunAllOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrialsGridSerial(b *testing.B)   { benchSerial(b, trialsGrid()) }
+func BenchmarkTrialsGridParallel(b *testing.B) { benchParallel(b, trialsGrid()) }
+func BenchmarkSweep50xSerial(b *testing.B)     { benchSerial(b, sweep50x()) }
+func BenchmarkSweep50xParallel(b *testing.B)   { benchParallel(b, sweep50x()) }
 
 // Sanity checks that the apps alias surface stays wired.
 var _ = apps.Table3

@@ -5,9 +5,12 @@
 //
 //	report [-experiment all|table1|table3|fig2|fig3|fig4|table4|bounds|ablations]
 //	       [-trials 3] [-seed 1] [-hours 3] [-format text|markdown|csv]
+//	       [-workers 0] [-progress]
 //
 // Each experiment is run -trials times with consecutive seeds (the paper
-// averages three runs) and the mean is reported.
+// averages three runs) and the mean is reported. Independent runs fan
+// out over a worker pool (-workers, default GOMAXPROCS); -progress
+// prints per-run completions to stderr.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"os"
 
 	"repro/internal/report"
+	"repro/internal/sim"
 	"repro/internal/simclock"
 )
 
@@ -25,6 +29,8 @@ var (
 	seed       = flag.Int64("seed", 1, "base random seed")
 	hours      = flag.Float64("hours", 3, "connected-standby horizon in hours")
 	format     = flag.String("format", "text", "output format: text, markdown, or csv")
+	workers    = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	progress   = flag.Bool("progress", false, "print per-run completions to stderr")
 )
 
 func main() {
@@ -33,6 +39,12 @@ func main() {
 		Trials:   *trials,
 		Seed:     *seed,
 		Duration: simclock.Duration(*hours * float64(simclock.Hour)),
+		Workers:  *workers,
+	}
+	if *progress {
+		opts.Progress = func(p sim.Progress) {
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s (%.2fs)\n", p.Done, p.Total, p.Name, p.Wall.Seconds())
+		}
 	}
 
 	if *experiment == "list" {

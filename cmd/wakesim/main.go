@@ -5,8 +5,13 @@
 //
 //	wakesim [-policy SIMTY] [-workload light|heavy|table3] [-spec file.json]
 //	        [-hours 3] [-beta 0.96] [-seed 1] [-system] [-oneshots 6]
+//	        [-pushes 0] [-screens 0]
 //	        [-trace out.csv] [-json out.json] [-timeline MIN] [-anomaly]
 //	        [-toempty] [-v]
+//
+// The trace-export flags (-trace, -json, -timeline, -anomaly) work in
+// both fixed-horizon and -toempty mode; a run-to-empty trace covers the
+// entire discharge.
 package main
 
 import (
@@ -33,6 +38,8 @@ var (
 	seed      = flag.Int64("seed", 1, "random seed")
 	system    = flag.Bool("system", true, "install background system alarms")
 	oneshots  = flag.Int("oneshots", 6, "number of sporadic one-shot alarms")
+	pushes    = flag.Float64("pushes", 0, "external (GCM-style) wakeups per hour, Poisson arrivals")
+	screens   = flag.Float64("screens", 0, "screen-on sessions per hour, Poisson arrivals")
 	traceCSV  = flag.String("trace", "", "write the event trace as CSV to this file")
 	traceJSON = flag.String("json", "", "write the event trace as JSON to this file")
 	detect    = flag.Bool("anomaly", false, "scan the run for no-sleep energy bugs")
@@ -70,15 +77,17 @@ func main() {
 	}
 
 	cfg := sim.Config{
-		Name:         *workload,
-		Policy:       *policy,
-		Workload:     specs,
-		SystemAlarms: *system,
-		OneShots:     *oneshots,
-		Duration:     simclock.Duration(*hours * float64(simclock.Hour)),
-		Beta:         *beta,
-		Seed:         *seed,
-		CollectTrace: *traceCSV != "" || *traceJSON != "" || *detect || *timeline > 0,
+		Name:                  *workload,
+		Policy:                *policy,
+		Workload:              specs,
+		SystemAlarms:          *system,
+		OneShots:              *oneshots,
+		Duration:              simclock.Duration(*hours * float64(simclock.Hour)),
+		Beta:                  *beta,
+		Seed:                  *seed,
+		PushesPerHour:         *pushes,
+		ScreenSessionsPerHour: *screens,
+		CollectTrace:          *traceCSV != "" || *traceJSON != "" || *detect || *timeline > 0,
 	}
 	if *toEmpty {
 		d, err := sim.RunToEmpty(cfg)
@@ -86,8 +95,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("policy %s, workload %s: battery empty after %.1f h (%d wakeups)\n",
-			d.PolicyName, *workload, d.StandbyHours, d.Wakeups)
+		fmt.Printf("policy %s, workload %s: battery empty after %.1f h (%d wakeups, %d pushes)\n",
+			d.PolicyName, *workload, d.StandbyHours, d.Wakeups, d.Pushes)
+		// The drain's trace covers the whole discharge, so the export
+		// flags work here exactly as in a fixed-horizon run.
+		exportArtifacts(d.Trace, d.End)
 		return
 	}
 
@@ -133,17 +145,29 @@ func main() {
 		w.Flush()
 	}
 
+	exportArtifacts(r.Trace, simclock.Time(r.Config.Duration))
+}
+
+// exportArtifacts renders the timeline, anomaly scan, and trace exports
+// from a finished run's event log. end is the simulation's final
+// virtual time — the horizon for a fixed-duration run, the moment the
+// battery died for a run-to-empty discharge.
+func exportArtifacts(lg *trace.Logger, end simclock.Time) {
+	if lg == nil {
+		return
+	}
+
 	if *timeline > 0 {
 		to := simclock.Time(simclock.Duration(*timeline) * simclock.Minute)
-		if to > simclock.Time(cfg.Duration) {
-			to = simclock.Time(cfg.Duration)
+		if to > end {
+			to = end
 		}
 		fmt.Println()
-		fmt.Print(trace.Timeline(r.Trace.Events(), 0, to, 100))
+		fmt.Print(trace.Timeline(lg.Events(), 0, to, 100))
 	}
 
 	if *detect {
-		findings := (&anomaly.Detector{}).Analyze(r.Trace.Events(), simclock.Time(r.Config.Duration))
+		findings := (&anomaly.Detector{}).Analyze(lg.Events(), end)
 		if len(findings) == 0 {
 			fmt.Println("\nanomaly scan: clean — no suspicious wakelock holds")
 		} else {
@@ -155,14 +179,14 @@ func main() {
 	}
 
 	if *traceCSV != "" {
-		if err := writeFile(*traceCSV, func(f *os.File) error { return r.Trace.WriteCSV(f) }); err != nil {
+		if err := writeFile(*traceCSV, func(f *os.File) error { return lg.WriteCSV(f) }); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("trace written to %s (%d events)\n", *traceCSV, len(r.Trace.Events()))
+		fmt.Printf("trace written to %s (%d events)\n", *traceCSV, len(lg.Events()))
 	}
 	if *traceJSON != "" {
-		if err := writeFile(*traceJSON, func(f *os.File) error { return r.Trace.WriteJSON(f) }); err != nil {
+		if err := writeFile(*traceJSON, func(f *os.File) error { return lg.WriteJSON(f) }); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

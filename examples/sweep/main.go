@@ -1,10 +1,13 @@
 // Sweep explores the two scaling dimensions the paper motivates but does
 // not plot: the grace factor β (how far imperceptible alarms may be
 // postponed) and the number of resident apps (the introduction expects
-// more resident apps to accelerate battery depletion).
+// more resident apps to accelerate battery depletion). Every sweep fans
+// its independent runs over repro.RunAll's worker pool, so wall time is
+// bounded by the slowest run, not the sum.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +22,9 @@ import (
 // maxCopies bounds the large-population sweep: 50 copies of the light
 // workload is 600 resident apps, ≥50× the paper's population.
 var maxCopies = flag.Int("maxcopies", 50, "largest light-workload multiplier in the large-population sweep")
+
+// workers bounds the run pool (0 = GOMAXPROCS).
+var workers = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 
 // replicate duplicates the light workload n times with distinct names.
 func replicate(n int) []repro.AppSpec {
@@ -46,21 +52,39 @@ func bar(frac float64, width int) string {
 	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
 }
 
+// runAll fans cfgs over the pool and dies on the first error.
+func runAll(ctx context.Context, opts repro.RunAllOptions, cfgs []repro.Config) []*repro.Result {
+	rs, err := repro.RunAll(ctx, cfgs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rs
+}
+
 func main() {
 	flag.Parse()
+	ctx := context.Background()
+	opts := repro.RunAllOptions{Workers: *workers}
+
 	fmt.Println("β sweep — energy saved vs NATIVE and imperceptible delay (light workload)")
 	fmt.Println()
-	for _, beta := range []float64{0.75, 0.80, 0.85, 0.90, 0.96} {
-		cfg := repro.Config{
-			Workload:     repro.LightWorkload(),
-			SystemAlarms: true,
-			Seed:         1,
-			Beta:         beta,
+	betas := []float64{0.75, 0.80, 0.85, 0.90, 0.96}
+	// One pool runs the whole grid: a NATIVE/SIMTY pair per β.
+	betaCfgs := make([]repro.Config, 0, 2*len(betas))
+	for _, beta := range betas {
+		for _, p := range []string{"NATIVE", "SIMTY"} {
+			betaCfgs = append(betaCfgs, repro.Config{
+				Workload:     repro.LightWorkload(),
+				SystemAlarms: true,
+				Seed:         1,
+				Beta:         beta,
+				Policy:       p,
+			})
 		}
-		cmp, err := repro.Compare(cfg, "NATIVE", "SIMTY")
-		if err != nil {
-			log.Fatal(err)
-		}
+	}
+	betaRuns := runAll(ctx, opts, betaCfgs)
+	for i, beta := range betas {
+		cmp := repro.Comparison{Base: betaRuns[2*i], Test: betaRuns[2*i+1]}
 		s := cmp.TotalSavings()
 		d := cmp.Test.Delays.ImperceptibleMean
 		fmt.Printf("  β=%.2f  savings %5.1f%% |%s|  delay %5.1f%% |%s|\n",
@@ -70,15 +94,19 @@ func main() {
 	fmt.Println()
 	fmt.Println("app-count sweep — duplicating the Wi-Fi app population (SIMTY vs NATIVE)")
 	fmt.Println()
-	for _, copies := range []int{1, 2, 3, 4} {
-		specs := replicate(copies)
-		cfg := repro.Config{Workload: specs, SystemAlarms: true, Seed: 1}
-		cmp, err := repro.Compare(cfg, "NATIVE", "SIMTY")
-		if err != nil {
-			log.Fatal(err)
+	copiesList := []int{1, 2, 3, 4}
+	countCfgs := make([]repro.Config, 0, 2*len(copiesList))
+	for _, copies := range copiesList {
+		for _, p := range []string{"NATIVE", "SIMTY"} {
+			countCfgs = append(countCfgs, repro.Config{
+				Workload: replicate(copies), SystemAlarms: true, Seed: 1, Policy: p})
 		}
+	}
+	countRuns := runAll(ctx, opts, countCfgs)
+	for i := range copiesList {
+		cmp := repro.Comparison{Base: countRuns[2*i], Test: countRuns[2*i+1]}
 		fmt.Printf("  %2d apps: NATIVE %5.1f h standby, SIMTY %5.1f h (+%.0f%%), wakeups %d → %d\n",
-			len(specs), cmp.Base.StandbyHours, cmp.Test.StandbyHours,
+			len(countCfgs[2*i].Workload), cmp.Base.StandbyHours, cmp.Test.StandbyHours,
 			cmp.StandbyExtension()*100, cmp.Base.FinalWakeups, cmp.Test.FinalWakeups)
 	}
 	fmt.Println()
@@ -89,31 +117,36 @@ func main() {
 	fmt.Println("large-population sweep — far beyond the paper's 12/18 apps")
 	fmt.Println("(the indexed alarm queue keeps the hot path sub-quadratic)")
 	fmt.Println()
-	largest := 0
+	var largeCopies []int
 	for _, copies := range []int{10, 25, 50} {
-		if copies > *maxCopies {
-			continue
+		if copies <= *maxCopies {
+			largeCopies = append(largeCopies, copies)
 		}
-		largest = copies
-		specs := replicate(copies)
-		cfg := repro.Config{Workload: specs, SystemAlarms: true, Seed: 1}
-		start := time.Now()
-		cmp, err := repro.Compare(cfg, "NATIVE", "SIMTY")
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("  %4d apps (%2d×): NATIVE %5.1f h standby, SIMTY %5.1f h (+%.0f%%), wakeups %d → %d  [%.1fs wall]\n",
-			len(specs), copies, cmp.Base.StandbyHours, cmp.Test.StandbyHours,
-			cmp.StandbyExtension()*100, cmp.Base.FinalWakeups, cmp.Test.FinalWakeups,
-			time.Since(start).Seconds())
 	}
-	fmt.Println()
-	if largest > 0 {
-		fmt.Printf("Even at %d× the paper's population the 3 h horizon simulates in well\n", largest)
+	if len(largeCopies) > 0 {
+		start := time.Now()
+		largeCfgs := make([]repro.Config, 0, 2*len(largeCopies))
+		for _, copies := range largeCopies {
+			for _, p := range []string{"NATIVE", "SIMTY"} {
+				largeCfgs = append(largeCfgs, repro.Config{
+					Workload: replicate(copies), SystemAlarms: true, Seed: 1, Policy: p})
+			}
+		}
+		largeRuns := runAll(ctx, opts, largeCfgs)
+		for i, copies := range largeCopies {
+			cmp := repro.Comparison{Base: largeRuns[2*i], Test: largeRuns[2*i+1]}
+			fmt.Printf("  %4d apps (%2d×): NATIVE %5.1f h standby, SIMTY %5.1f h (+%.0f%%), wakeups %d → %d  [%.1fs+%.1fs run wall]\n",
+				len(largeCfgs[2*i].Workload), copies, cmp.Base.StandbyHours, cmp.Test.StandbyHours,
+				cmp.StandbyExtension()*100, cmp.Base.FinalWakeups, cmp.Test.FinalWakeups,
+				cmp.Base.Wall.Seconds(), cmp.Test.Wall.Seconds())
+		}
+		fmt.Println()
+		fmt.Printf("Even at %d× the paper's population the 3 h horizon simulates in well\n", largeCopies[len(largeCopies)-1])
 		fmt.Println("under a second. The sweep also exposes a saturation regime: past a few")
 		fmt.Println("hundred resident apps an alarm is due every few seconds, the device")
 		fmt.Println("never re-enters sleep (a single wake session spans the horizon), and no")
 		fmt.Println("alignment policy can help — connected standby itself has collapsed.")
+		fmt.Printf("(whole sweep: %.1fs wall on the worker pool)\n", time.Since(start).Seconds())
 	} else {
 		fmt.Println("(large-population sweep skipped: -maxcopies below 10)")
 	}
@@ -121,28 +154,29 @@ func main() {
 	fmt.Println()
 	fmt.Println("policy frontier — energy saved vs worst-case user impact (heavy workload)")
 	fmt.Println()
-	base, err := repro.Run(repro.Config{Workload: repro.HeavyWorkload(), SystemAlarms: true, Seed: 1, Policy: "NATIVE"})
-	if err != nil {
-		log.Fatal(err)
-	}
 	frontier := []struct {
 		name   string
 		policy string
 		custom repro.Policy
 	}{
+		{"NATIVE", "NATIVE", nil}, // baseline, index 0
 		{"SIMTY", "SIMTY", nil},
 		{"DOZE 5 min", "", alarm.Doze{Window: 5 * simclock.Minute}},
 		{"DOZE 15 min", "", alarm.Doze{Window: 15 * simclock.Minute}},
 		{"INTERVAL 5 min", "", alarm.Interval{Grid: 5 * simclock.Minute}},
 		{"INTERVAL 15 min", "", alarm.Interval{Grid: 15 * simclock.Minute}},
 	}
-	for _, f := range frontier {
-		cfg := repro.Config{Workload: repro.HeavyWorkload(), SystemAlarms: true, Seed: 1,
-			Policy: f.policy, Custom: f.custom}
-		r, err := repro.Run(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
+	frontierRuns, err := repro.Sweep(ctx, repro.Config{
+		Workload: repro.HeavyWorkload(), SystemAlarms: true, Seed: 1,
+	}, len(frontier), func(i int, c *repro.Config) {
+		c.Policy, c.Custom = frontier[i].policy, frontier[i].custom
+	}, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := frontierRuns[0]
+	for i, f := range frontier[1:] {
+		r := frontierRuns[i+1]
 		savings := 1 - r.Energy.TotalMJ()/base.Energy.TotalMJ()
 		fmt.Printf("  %-16s savings %5.1f%% |%s|  imperc delay %6.1f%%  perc delay %5.2f%%\n",
 			f.name, savings*100, bar(savings/0.6, 20),

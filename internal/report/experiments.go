@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/apps"
@@ -20,6 +21,16 @@ type Options struct {
 	Seed int64
 	// Duration is the standby horizon; zero means the paper's 3 h.
 	Duration simclock.Duration
+	// Workers bounds the parallel runner's pool; ≤ 0 means GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, receives one callback per finished run
+	// (forwarded to the parallel runner).
+	Progress func(sim.Progress)
+}
+
+// runOpts forwards the pool tuning to the parallel runner.
+func (o Options) runOpts() sim.RunAllOptions {
+	return sim.RunAllOptions{Workers: o.Workers, Progress: o.Progress}
 }
 
 func (o Options) withDefaults() Options {
@@ -116,14 +127,25 @@ func Drain(o Options) (*Table, error) {
 	t := &Table{ID: "drain",
 		Title:   "Standby time measured to battery exhaustion (paper: SIMTY extends NATIVE's by one-fourth to one-third)",
 		Columns: []string{"workload", "policy", "standby (h)", "vs NATIVE", "wakeups"}}
+	// All six multi-hundred-hour discharges are independent; fan them
+	// over the pool and format in input order afterwards.
+	policies := []string{"NATIVE", "NOALIGN", "SIMTY"}
+	var cfgs []sim.Config
 	for _, wl := range workloads() {
+		for _, p := range policies {
+			c := o.config(wl.specs, p)
+			c.Name = wl.name
+			cfgs = append(cfgs, c)
+		}
+	}
+	drains, err := sim.RunToEmptyAll(context.Background(), cfgs, o.runOpts())
+	if err != nil {
+		return nil, err
+	}
+	for wi, wl := range workloads() {
 		base := 0.0
-		for _, p := range []string{"NATIVE", "NOALIGN", "SIMTY"} {
-			cfg := o.config(wl.specs, p)
-			r, err := sim.RunToEmpty(cfg)
-			if err != nil {
-				return nil, err
-			}
+		for pi, p := range policies {
+			r := drains[wi*len(policies)+pi]
 			rel := "—"
 			if p == "NATIVE" {
 				base = r.StandbyHours
@@ -149,7 +171,7 @@ func ByID(id string) (Experiment, bool) {
 }
 
 func runTrials(o Options, c sim.Config) ([]*sim.Result, error) {
-	return sim.RunTrials(c, o.Trials)
+	return sim.RunTrialsContext(context.Background(), c, o.Trials, o.runOpts())
 }
 
 func mean(rs []*sim.Result, f func(*sim.Result) float64) float64 {

@@ -3,11 +3,9 @@ package sim
 import (
 	"fmt"
 
-	"repro/internal/alarm"
-	"repro/internal/apps"
-	"repro/internal/device"
 	"repro/internal/power"
 	"repro/internal/simclock"
+	"repro/internal/trace"
 )
 
 // DrainResult is the outcome of a run-to-empty simulation.
@@ -19,6 +17,15 @@ type DrainResult struct {
 	Curve []power.SoCPoint
 	// Wakeups counts device wakeups over the whole discharge.
 	Wakeups int
+	// Pushes counts the external (GCM-style) wakeups that arrived
+	// before the battery died.
+	Pushes int
+	// End is the virtual time at which the battery emptied (hour
+	// granularity; StandbyHours interpolates within the final hour).
+	End simclock.Time
+	// Trace is the event log when Config.CollectTrace is set; it covers
+	// the entire discharge, so expect it to be large.
+	Trace *trace.Logger
 }
 
 // maxDrainHorizon caps run-to-empty simulations (a device idling at the
@@ -30,61 +37,24 @@ const maxDrainHorizon = 1000 * simclock.Duration(simclock.Hour)
 // exhausted, measuring standby time directly instead of projecting it
 // from a short run. Config.Duration bounds the window over which
 // one-shot alarms are scheduled (defaulting as in Run); the simulation
-// itself continues until the battery dies.
+// itself — including the push and screen-session processes — continues
+// until the battery dies.
 func RunToEmpty(cfg Config) (*DrainResult, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
+	env, err := newRunEnv(cfg, maxDrainHorizon)
+	if err != nil {
 		return nil, err
 	}
-	pol := cfg.Custom
-	if pol == nil {
-		var err error
-		pol, err = PolicyByName(cfg.Policy)
-		if err != nil {
-			return nil, err
-		}
-	}
 
-	clock := simclock.New()
-	profile := cfg.Profile
-	if profile == nil {
-		profile = power.Nexus5()
-	}
-	if cfg.ZeroWakeLatency {
-		p := *profile
-		p.WakeLatencyMin, p.WakeLatencyMax = 0, 0
-		profile = &p
-	}
-	dev := device.New(clock, profile, cfg.Seed)
-	mgr := alarm.NewManager(clock, dev, pol)
-	mgr.SetRealign(!cfg.DisableRealign)
-
-	rt := apps.NewRuntime(clock, dev, mgr, cfg.Beta, simclock.Rand(cfg.Seed+1))
-	rt.Jitter = cfg.TaskJitter
-	if err := rt.Install(cfg.Workload); err != nil {
-		return nil, err
-	}
-	if cfg.SystemAlarms {
-		if err := rt.Install(apps.SystemSpecs()); err != nil {
-			return nil, err
-		}
-	}
-	if cfg.OneShots > 0 {
-		if err := rt.ScheduleOneShots(cfg.Duration, cfg.OneShots); err != nil {
-			return nil, err
-		}
-	}
-
-	battery := power.NewBattery(profile.BatteryMJ)
-	res := &DrainResult{PolicyName: pol.Name()}
+	battery := power.NewBattery(env.profile.BatteryMJ)
+	res := &DrainResult{PolicyName: env.pol.Name()}
 	prevTotal := 0.0
 	step := simclock.Duration(simclock.Hour)
 	for t := step; t <= maxDrainHorizon; t += step {
-		clock.Run(simclock.Time(t))
-		b := dev.Accountant().Snapshot()
+		env.clock.Run(simclock.Time(t))
+		b := env.dev.Accountant().Snapshot()
 		battery.Drain(b.TotalMJ() - prevTotal)
 		prevTotal = b.TotalMJ()
-		res.Curve = append(res.Curve, power.SoCPoint{At: clock.Now(), SoC: battery.SoC()})
+		res.Curve = append(res.Curve, power.SoCPoint{At: env.clock.Now(), SoC: battery.SoC()})
 		if battery.Empty() {
 			// Interpolate within the last step for sub-hour precision.
 			over := b.TotalMJ() - battery.CapacityMJ()
@@ -94,7 +64,10 @@ func RunToEmpty(cfg Config) (*DrainResult, error) {
 				frac = over / stepMJ
 			}
 			res.StandbyHours = float64(t)/float64(simclock.Hour) - frac
-			res.Wakeups = dev.Wakeups()
+			res.Wakeups = env.dev.Wakeups()
+			res.Pushes = env.pushes
+			res.End = env.clock.Now()
+			res.Trace = env.logger
 			return res, nil
 		}
 	}

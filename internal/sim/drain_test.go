@@ -67,6 +67,68 @@ func TestRunToEmptyCurveMonotone(t *testing.T) {
 	}
 }
 
+// TestRunToEmptyPushesDrainFaster is the regression test for the
+// dropped-workload-sources bug: RunToEmpty used to re-implement Run's
+// ~60-line setup by hand and silently ignore PushesPerHour and
+// ScreenSessionsPerHour, so a push-heavy config drained exactly as
+// slowly as a quiet one. With the shared environment builder the
+// external wakeup load must shorten the measured standby time. (On the
+// pre-fix code this test fails: both configs report identical drain
+// times and Pushes stays 0.)
+func TestRunToEmptyPushesDrainFaster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-day simulation")
+	}
+	quiet := Config{Workload: apps.LightWorkload(), SystemAlarms: true, Policy: "NATIVE", Seed: 1}
+	pushy := quiet
+	pushy.PushesPerHour = 60
+
+	q, err := RunToEmpty(quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := RunToEmpty(pushy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Pushes == 0 {
+		t.Fatal("no pushes arrived during the discharge — push scheduling dropped again")
+	}
+	if q.Pushes != 0 {
+		t.Fatalf("quiet config reported %d pushes", q.Pushes)
+	}
+	// 60 pushes/hour is a substantial external load; demand a clearly
+	// measurable drain acceleration, not a rounding artifact.
+	if p.StandbyHours >= q.StandbyHours*0.95 {
+		t.Fatalf("pushy workload drained in %.1f h vs quiet %.1f h — external wakeups are being dropped",
+			p.StandbyHours, q.StandbyHours)
+	}
+}
+
+// TestRunToEmptyScreenSessionsDrainFaster covers the second dropped
+// source: screen-on sessions must also shorten the discharge.
+func TestRunToEmptyScreenSessionsDrainFaster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-day simulation")
+	}
+	quiet := Config{Workload: apps.LightWorkload(), SystemAlarms: true, Policy: "NATIVE", Seed: 1}
+	screeny := quiet
+	screeny.ScreenSessionsPerHour = 4
+
+	q, err := RunToEmpty(quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := RunToEmpty(screeny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StandbyHours >= q.StandbyHours*0.95 {
+		t.Fatalf("screen-session workload drained in %.1f h vs quiet %.1f h — screen sessions are being dropped",
+			s.StandbyHours, q.StandbyHours)
+	}
+}
+
 func TestRunToEmptyValidation(t *testing.T) {
 	if _, err := RunToEmpty(Config{}); err == nil {
 		t.Fatal("empty config accepted")

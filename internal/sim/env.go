@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"repro/internal/alarm"
+	"repro/internal/apps"
+	"repro/internal/device"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// runEnv is one fully wired simulation environment: virtual clock,
+// power profile, device, alarm manager, application runtime, and the
+// external-wakeup processes (GCM-style pushes, screen-on sessions).
+// Run and RunToEmpty both execute on top of it, so the two entry points
+// cannot diverge in what a Config means — RunToEmpty once re-implemented
+// this setup by hand and silently dropped PushesPerHour and
+// ScreenSessionsPerHour, measuring push-heavy standby times against the
+// wrong workload.
+type runEnv struct {
+	cfg     Config // defaults applied
+	pol     alarm.Policy
+	clock   *simclock.Clock
+	profile *power.Profile
+	dev     *device.Device
+	mgr     *alarm.Manager
+	rt      *apps.Runtime
+	logger  *trace.Logger
+	recs    []alarm.Record
+	pushes  int
+}
+
+// newRunEnv validates cfg and assembles the environment. horizon bounds
+// the external-wakeup Poisson processes: zero means the standby horizon
+// (Run), while RunToEmpty passes the drain cap so pushes and screen
+// sessions persist for as long as the discharge can possibly last.
+// One-shot alarms are always scheduled within cfg.Duration, matching
+// both entry points' documented semantics.
+//
+// The construction order (trace hookup, workload, system alarms,
+// one-shots, screen sessions, pushes) is load-bearing: events scheduled
+// for the same instant fire in FIFO order of scheduling, and the golden
+// parity tests pin the resulting delivery stream byte for byte.
+func newRunEnv(cfg Config, horizon simclock.Duration) (*runEnv, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	pol := cfg.Custom
+	if pol == nil {
+		var err error
+		pol, err = PolicyByName(cfg.Policy)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if horizon == 0 {
+		horizon = cfg.Duration
+	}
+
+	env := &runEnv{cfg: cfg, pol: pol, clock: simclock.New()}
+	env.profile = cfg.Profile
+	if env.profile == nil {
+		env.profile = power.Nexus5()
+	}
+	if cfg.ZeroWakeLatency {
+		p := *env.profile
+		p.WakeLatencyMin, p.WakeLatencyMax = 0, 0
+		env.profile = &p
+	}
+	env.dev = device.New(env.clock, env.profile, cfg.Seed)
+	env.mgr = alarm.NewManager(env.clock, env.dev, pol)
+	env.mgr.SetRealign(!cfg.DisableRealign)
+
+	if cfg.CollectTrace {
+		env.logger = trace.NewLogger(env.clock)
+		env.dev.Wakelocks().Subscribe(env.logger)
+		env.dev.OnTask(env.logger.Task)
+		env.mgr.SetRecordFunc(func(r alarm.Record) {
+			env.recs = append(env.recs, r)
+			env.logger.Record(r)
+		})
+	} else {
+		env.mgr.SetRecordFunc(func(r alarm.Record) { env.recs = append(env.recs, r) })
+	}
+
+	env.rt = apps.NewRuntime(env.clock, env.dev, env.mgr, cfg.Beta, simclock.Rand(cfg.Seed+1))
+	env.rt.Jitter = cfg.TaskJitter
+	if err := env.rt.Install(cfg.Workload); err != nil {
+		return nil, err
+	}
+	if cfg.SystemAlarms {
+		if err := env.rt.Install(apps.SystemSpecs()); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.OneShots > 0 {
+		if err := env.rt.ScheduleOneShots(cfg.Duration, cfg.OneShots); err != nil {
+			return nil, err
+		}
+	}
+
+	env.scheduleScreenSessions(horizon)
+	env.schedulePushes(horizon)
+	return env, nil
+}
+
+// scheduleScreenSessions starts the Poisson screen-on process (RNG
+// stream cfg.Seed+3). Screen-on periods end connected standby
+// momentarily: the device is awake, so due non-wakeup alarms flush.
+func (e *runEnv) scheduleScreenSessions(horizon simclock.Duration) {
+	if e.cfg.ScreenSessionsPerHour <= 0 {
+		return
+	}
+	dur := e.cfg.ScreenSessionDur
+	if dur <= 0 {
+		dur = 30 * simclock.Second
+	}
+	rng := simclock.Rand(e.cfg.Seed + 3)
+	meanGap := float64(simclock.Hour) / e.cfg.ScreenSessionsPerHour
+	var schedule func(at simclock.Time)
+	schedule = func(at simclock.Time) {
+		if at > simclock.Time(horizon) {
+			return
+		}
+		e.clock.Schedule(at, func() {
+			e.dev.ExecuteWake(func() {
+				e.dev.RunTaskTagged("screen-session", hw.MakeSet(hw.Screen), dur)
+			})
+			schedule(at.Add(simclock.Duration(rng.ExpFloat64() * meanGap)))
+		})
+	}
+	schedule(simclock.Time(simclock.Duration(rng.ExpFloat64() * meanGap)))
+}
+
+// schedulePushes starts the Poisson external-wakeup process (RNG stream
+// cfg.Seed+2): GCM pushes are not subject to the alignment policy, but
+// they wake the device and due non-wakeup alarms flush on them.
+func (e *runEnv) schedulePushes(horizon simclock.Duration) {
+	if e.cfg.PushesPerHour <= 0 {
+		return
+	}
+	rng := simclock.Rand(e.cfg.Seed + 2)
+	meanGap := float64(simclock.Hour) / e.cfg.PushesPerHour
+	var schedule func(at simclock.Time)
+	schedule = func(at simclock.Time) {
+		if at > simclock.Time(horizon) {
+			return
+		}
+		e.clock.Schedule(at, func() {
+			e.pushes++
+			e.dev.ExecuteWake(func() {
+				// Receiving the message costs a short Wi-Fi burst.
+				e.dev.RunTaskTagged("gcm-push", hw.MakeSet(hw.WiFi), simclock.Second)
+			})
+			schedule(at.Add(simclock.Duration(rng.ExpFloat64() * meanGap)))
+		})
+	}
+	schedule(simclock.Time(simclock.Duration(rng.ExpFloat64() * meanGap)))
+}
+
+// result computes every derived metric from the finished run.
+func (e *runEnv) result() *Result {
+	appNames := map[string]bool{}
+	for _, s := range e.cfg.Workload {
+		appNames[s.Name] = true
+	}
+	var appRecs []alarm.Record
+	for _, r := range e.recs {
+		if appNames[r.App] {
+			appRecs = append(appRecs, r)
+		}
+	}
+
+	res := &Result{
+		Config:       e.cfg,
+		PolicyName:   e.pol.Name(),
+		Energy:       e.dev.Accountant().Snapshot(),
+		Records:      e.recs,
+		Delays:       metrics.Delays(appRecs),
+		DelaysAll:    metrics.Delays(e.recs),
+		Wakeups:      metrics.Wakeups(e.recs),
+		SpkVib:       metrics.SpeakerVibrator(e.recs),
+		Trace:        e.logger,
+		FinalWakeups: e.dev.Wakeups(),
+		Pushes:       e.pushes,
+	}
+	res.StandbyHours = e.profile.StandbyHours(res.Energy)
+	return res
+}

@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// gridConfigs is the golden-parity matrix from the tentpole acceptance
+// criteria: NATIVE, SIMTY, and NOALIGN across two seeds.
+func gridConfigs() []Config {
+	var cfgs []Config
+	for _, p := range []string{"NATIVE", "SIMTY", "NOALIGN"} {
+		for _, seed := range []int64{1, 2} {
+			cfgs = append(cfgs, Config{
+				Name:         "parity",
+				Workload:     apps.HeavyWorkload(),
+				SystemAlarms: true,
+				OneShots:     6,
+				Policy:       p,
+				Seed:         seed,
+			})
+		}
+	}
+	return cfgs
+}
+
+// TestRunAllMatchesSerial is the golden parity test: the parallel
+// runner must produce byte-identical Records, Energy, and StandbyHours
+// to serial execution for every configuration in the grid. It runs
+// under `go test -race` in `make verify`, so it also proves the pool
+// shares no simulation state between runs.
+func TestRunAllMatchesSerial(t *testing.T) {
+	cfgs := gridConfigs()
+
+	serial := make([]*Result, len(cfgs))
+	for i, cfg := range cfgs {
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = r
+	}
+
+	parallel, err := RunAll(context.Background(), cfgs, RunAllOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != len(cfgs) {
+		t.Fatalf("got %d results for %d configs", len(parallel), len(cfgs))
+	}
+
+	for i := range cfgs {
+		s, p := serial[i], parallel[i]
+		name := cfgs[i].Policy
+		if p == nil {
+			t.Fatalf("%s/seed=%d: nil parallel result", name, cfgs[i].Seed)
+		}
+		if p.PolicyName != s.PolicyName || p.Config.Seed != s.Config.Seed {
+			t.Errorf("%s/seed=%d: result out of input order: got %s/seed=%d",
+				name, cfgs[i].Seed, p.PolicyName, p.Config.Seed)
+		}
+		if !reflect.DeepEqual(p.Records, s.Records) {
+			t.Errorf("%s/seed=%d: Records diverged between serial and parallel", name, cfgs[i].Seed)
+		}
+		if p.Energy != s.Energy {
+			t.Errorf("%s/seed=%d: Energy diverged: serial %+v, parallel %+v", name, cfgs[i].Seed, s.Energy, p.Energy)
+		}
+		if p.StandbyHours != s.StandbyHours {
+			t.Errorf("%s/seed=%d: StandbyHours diverged: %v vs %v", name, cfgs[i].Seed, s.StandbyHours, p.StandbyHours)
+		}
+	}
+}
+
+// TestRunTrialsSeedsAndOrder pins RunTrials' contract after the
+// parallelization: result i carries seed Seed+i, exactly as the serial
+// implementation did.
+func TestRunTrialsSeedsAndOrder(t *testing.T) {
+	cfg := Config{Workload: apps.LightWorkload(), Policy: "SIMTY", Seed: 7}
+	rs, err := RunTrials(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	for i, r := range rs {
+		if want := int64(7 + i); r.Config.Seed != want {
+			t.Errorf("trial %d: seed %d, want %d", i, r.Config.Seed, want)
+		}
+	}
+	if _, err := RunTrials(cfg, 0); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+// TestCompareTrialsPairsSeeds checks that each comparison pairs a base
+// and a test run over the identical seed.
+func TestCompareTrialsPairsSeeds(t *testing.T) {
+	cfg := Config{Workload: apps.LightWorkload(), SystemAlarms: true, Seed: 3}
+	cmps, err := CompareTrials(context.Background(), cfg, "NATIVE", "SIMTY", 2, RunAllOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmps) != 2 {
+		t.Fatalf("got %d comparisons", len(cmps))
+	}
+	for i, c := range cmps {
+		if c.Base.Config.Seed != c.Test.Config.Seed {
+			t.Errorf("comparison %d pairs different seeds: %d vs %d", i, c.Base.Config.Seed, c.Test.Config.Seed)
+		}
+		if want := int64(3 + i); c.Base.Config.Seed != want {
+			t.Errorf("comparison %d: seed %d, want %d", i, c.Base.Config.Seed, want)
+		}
+		if c.Base.PolicyName == c.Test.PolicyName {
+			t.Errorf("comparison %d: both sides ran %s", i, c.Base.PolicyName)
+		}
+		if c.TotalSavings() <= 0 {
+			t.Errorf("comparison %d: SIMTY saved nothing over NATIVE", i)
+		}
+	}
+}
+
+// TestSweepVariesConfigs checks the Sweep helper's variant fan-out.
+func TestSweepVariesConfigs(t *testing.T) {
+	betas := []float64{0.75, 0.85, 0.96}
+	rs, err := Sweep(context.Background(), Config{
+		Workload: apps.LightWorkload(), Policy: "SIMTY", Seed: 1,
+	}, len(betas), func(i int, c *Config) { c.Beta = betas[i] }, RunAllOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if r.Config.Beta != betas[i] {
+			t.Errorf("variant %d: β=%v, want %v", i, r.Config.Beta, betas[i])
+		}
+	}
+}
+
+// TestRunAllFirstErrorStopsPool proves a failed run stops the pool and
+// surfaces the first error: with one worker and the failure first in
+// line, no subsequent run may start.
+func TestRunAllFirstErrorStopsPool(t *testing.T) {
+	good := Config{Workload: apps.LightWorkload(), Policy: "SIMTY", Seed: 1}
+	bad := good
+	bad.Policy = "BOGUS"
+
+	started := 0
+	_, err := RunAll(context.Background(), []Config{bad, good, good, good},
+		RunAllOptions{Workers: 1, Progress: func(Progress) { started++ }})
+	if err == nil {
+		t.Fatal("pool swallowed the run error")
+	}
+	if !strings.Contains(err.Error(), "BOGUS") || !strings.Contains(err.Error(), "run 0") {
+		t.Fatalf("error does not identify the failing run: %v", err)
+	}
+	if started != 0 {
+		t.Fatalf("%d runs completed after the failure stopped the pool", started)
+	}
+}
+
+// TestRunAllContextCancellation proves a cancelled context stops the
+// pool and surfaces ctx's error.
+func TestRunAllContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfgs := []Config{{Workload: apps.LightWorkload(), Policy: "SIMTY", Seed: 1}}
+	if _, err := RunAll(ctx, cfgs, RunAllOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunAllProgress checks the callback sees every run exactly once,
+// with Done climbing 1..Total and per-run wall time recorded.
+func TestRunAllProgress(t *testing.T) {
+	cfgs := []Config{
+		{Workload: apps.LightWorkload(), Policy: "NATIVE", Seed: 1},
+		{Workload: apps.LightWorkload(), Policy: "SIMTY", Seed: 1},
+		{Workload: apps.LightWorkload(), Policy: "NOALIGN", Seed: 1},
+	}
+	seen := map[int]bool{}
+	calls := 0
+	_, err := RunAll(context.Background(), cfgs, RunAllOptions{
+		Workers: 2,
+		Progress: func(p Progress) {
+			calls++
+			if p.Total != len(cfgs) {
+				t.Errorf("Total = %d, want %d", p.Total, len(cfgs))
+			}
+			if p.Done != calls {
+				t.Errorf("Done = %d on call %d", p.Done, calls)
+			}
+			if seen[p.Index] {
+				t.Errorf("run %d reported twice", p.Index)
+			}
+			seen[p.Index] = true
+			if p.Wall <= 0 {
+				t.Errorf("run %d: non-positive wall time %v", p.Index, p.Wall)
+			}
+			if p.Name == "" {
+				t.Errorf("run %d: empty name", p.Index)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(cfgs) {
+		t.Fatalf("progress called %d times for %d runs", calls, len(cfgs))
+	}
+}
+
+// TestRunAllEmpty: an empty batch is a successful no-op.
+func TestRunAllEmpty(t *testing.T) {
+	rs, err := RunAll(context.Background(), nil, RunAllOptions{})
+	if err != nil || len(rs) != 0 {
+		t.Fatalf("empty batch: %v, %d results", err, len(rs))
+	}
+}
+
+// TestRunToEmptyAllMatchesSerial spot-checks the drain fan-out against
+// serial RunToEmpty.
+func TestRunToEmptyAllMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-day simulation")
+	}
+	cfgs := []Config{
+		{Workload: apps.LightWorkload(), SystemAlarms: true, Policy: "NATIVE", Seed: 1},
+		{Workload: apps.LightWorkload(), SystemAlarms: true, Policy: "SIMTY", Seed: 1},
+	}
+	par, err := RunToEmptyAll(context.Background(), cfgs, RunAllOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		s, err := RunToEmpty(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par[i].StandbyHours != s.StandbyHours || par[i].Wakeups != s.Wakeups {
+			t.Errorf("%s: parallel drain (%.2f h, %d wakeups) != serial (%.2f h, %d wakeups)",
+				cfg.Policy, par[i].StandbyHours, par[i].Wakeups, s.StandbyHours, s.Wakeups)
+		}
+	}
+}

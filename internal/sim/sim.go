@@ -9,11 +9,11 @@ package sim
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/alarm"
 	"repro/internal/apps"
 	"repro/internal/core"
-	"repro/internal/device"
 	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/power"
@@ -109,6 +109,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("sim: negative push rate")
 	case c.ScreenSessionsPerHour < 0:
 		return fmt.Errorf("sim: negative screen-session rate")
+	case c.ScreenSessionDur < 0:
+		return fmt.Errorf("sim: negative screen-session duration %v", c.ScreenSessionDur)
 	case c.TaskJitter < 0 || c.TaskJitter >= 1:
 		return fmt.Errorf("sim: task jitter %v outside [0,1)", c.TaskJitter)
 	}
@@ -163,157 +165,23 @@ type Result struct {
 	FinalWakeups int
 	// Pushes is the number of external (GCM-style) wakeups that arrived.
 	Pushes int
+	// Wall is the real (host) time the run took, for harness-scaling
+	// reports. It is the only field that varies between repeats of the
+	// same Config.
+	Wall time.Duration
 }
 
 // Run executes one simulation and computes all derived metrics.
 func Run(cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
+	start := time.Now()
+	env, err := newRunEnv(cfg, 0)
+	if err != nil {
 		return nil, err
 	}
-	pol := cfg.Custom
-	if pol == nil {
-		var err error
-		pol, err = PolicyByName(cfg.Policy)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	clock := simclock.New()
-	profile := cfg.Profile
-	if profile == nil {
-		profile = power.Nexus5()
-	}
-	if cfg.ZeroWakeLatency {
-		p := *profile
-		p.WakeLatencyMin, p.WakeLatencyMax = 0, 0
-		profile = &p
-	}
-	dev := device.New(clock, profile, cfg.Seed)
-	mgr := alarm.NewManager(clock, dev, pol)
-	mgr.SetRealign(!cfg.DisableRealign)
-
-	var recs []alarm.Record
-	var logger *trace.Logger
-	if cfg.CollectTrace {
-		logger = trace.NewLogger(clock)
-		dev.Wakelocks().Subscribe(logger)
-		dev.OnTask(logger.Task)
-		mgr.SetRecordFunc(func(r alarm.Record) {
-			recs = append(recs, r)
-			logger.Record(r)
-		})
-	} else {
-		mgr.SetRecordFunc(func(r alarm.Record) { recs = append(recs, r) })
-	}
-
-	rt := apps.NewRuntime(clock, dev, mgr, cfg.Beta, simclock.Rand(cfg.Seed+1))
-	rt.Jitter = cfg.TaskJitter
-	if err := rt.Install(cfg.Workload); err != nil {
-		return nil, err
-	}
-	if cfg.SystemAlarms {
-		if err := rt.Install(apps.SystemSpecs()); err != nil {
-			return nil, err
-		}
-	}
-	if cfg.OneShots > 0 {
-		if err := rt.ScheduleOneShots(cfg.Duration, cfg.OneShots); err != nil {
-			return nil, err
-		}
-	}
-
-	if cfg.ScreenSessionsPerHour > 0 {
-		dur := cfg.ScreenSessionDur
-		if dur <= 0 {
-			dur = 30 * simclock.Second
-		}
-		scrRng := simclock.Rand(cfg.Seed + 3)
-		meanGap := float64(simclock.Hour) / cfg.ScreenSessionsPerHour
-		var scheduleSession func(at simclock.Time)
-		scheduleSession = func(at simclock.Time) {
-			if at > simclock.Time(cfg.Duration) {
-				return
-			}
-			clock.Schedule(at, func() {
-				dev.ExecuteWake(func() {
-					dev.RunTaskTagged("screen-session", hw.MakeSet(hw.Screen), dur)
-				})
-				scheduleSession(at.Add(simclock.Duration(scrRng.ExpFloat64() * meanGap)))
-			})
-		}
-		scheduleSession(simclock.Time(simclock.Duration(scrRng.ExpFloat64() * meanGap)))
-	}
-
-	pushes := 0
-	if cfg.PushesPerHour > 0 {
-		pushRng := simclock.Rand(cfg.Seed + 2)
-		meanGap := float64(simclock.Hour) / cfg.PushesPerHour
-		var schedulePush func(at simclock.Time)
-		schedulePush = func(at simclock.Time) {
-			if at > simclock.Time(cfg.Duration) {
-				return
-			}
-			clock.Schedule(at, func() {
-				pushes++
-				dev.ExecuteWake(func() {
-					// Receiving the message costs a short Wi-Fi burst.
-					dev.RunTaskTagged("gcm-push", hw.MakeSet(hw.WiFi), simclock.Second)
-				})
-				schedulePush(at.Add(simclock.Duration(pushRng.ExpFloat64() * meanGap)))
-			})
-		}
-		schedulePush(simclock.Time(simclock.Duration(pushRng.ExpFloat64() * meanGap)))
-	}
-
-	clock.Run(simclock.Time(cfg.Duration))
-
-	appNames := map[string]bool{}
-	for _, s := range cfg.Workload {
-		appNames[s.Name] = true
-	}
-	var appRecs []alarm.Record
-	for _, r := range recs {
-		if appNames[r.App] {
-			appRecs = append(appRecs, r)
-		}
-	}
-
-	res := &Result{
-		Config:       cfg,
-		PolicyName:   pol.Name(),
-		Energy:       dev.Accountant().Snapshot(),
-		Records:      recs,
-		Delays:       metrics.Delays(appRecs),
-		DelaysAll:    metrics.Delays(recs),
-		Wakeups:      metrics.Wakeups(recs),
-		SpkVib:       metrics.SpeakerVibrator(recs),
-		Trace:        logger,
-		FinalWakeups: dev.Wakeups(),
-		Pushes:       pushes,
-	}
-	res.StandbyHours = profile.StandbyHours(res.Energy)
+	env.clock.Run(simclock.Time(env.cfg.Duration))
+	res := env.result()
+	res.Wall = time.Since(start)
 	return res, nil
-}
-
-// RunTrials repeats the configuration with seeds Seed, Seed+1, ... —
-// the paper runs each experiment three times and reports the average.
-func RunTrials(cfg Config, trials int) ([]*Result, error) {
-	if trials <= 0 {
-		return nil, fmt.Errorf("sim: non-positive trial count %d", trials)
-	}
-	results := make([]*Result, 0, trials)
-	for i := 0; i < trials; i++ {
-		c := cfg
-		c.Seed = cfg.Seed + int64(i)
-		r, err := Run(c)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, r)
-	}
-	return results, nil
 }
 
 // Comparison pairs a baseline run (typically NATIVE) with a candidate

@@ -23,6 +23,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/alarm"
 	"repro/internal/apps"
 	"repro/internal/power"
@@ -54,6 +56,13 @@ type (
 	Entry = alarm.Entry
 	// Profile is a device power model.
 	Profile = power.Profile
+	// RunAllOptions tunes the parallel experiment runner (worker count,
+	// progress callback).
+	RunAllOptions = sim.RunAllOptions
+	// RunProgress reports one finished run to a progress callback.
+	RunProgress = sim.Progress
+	// DrainResult is a finished run-to-empty battery discharge.
+	DrainResult = sim.DrainResult
 	// Time is a virtual-time instant in milliseconds.
 	Time = simclock.Time
 	// Duration is a virtual-time span in milliseconds.
@@ -77,13 +86,42 @@ const DefaultDuration = sim.DefaultDuration
 // Run executes one simulation.
 func Run(cfg Config) (*Result, error) { return sim.Run(cfg) }
 
-// RunTrials repeats a configuration with consecutive seeds.
+// RunTrials repeats a configuration with consecutive seeds, fanning the
+// trials over the parallel runner.
 func RunTrials(cfg Config, trials int) ([]*Result, error) { return sim.RunTrials(cfg, trials) }
+
+// RunAll executes independent configurations on a bounded worker pool
+// (GOMAXPROCS workers by default) and returns results in input order,
+// byte-identical to serial execution. The first error cancels the pool.
+func RunAll(ctx context.Context, cfgs []Config, opts RunAllOptions) ([]*Result, error) {
+	return sim.RunAll(ctx, cfgs, opts)
+}
+
+// RunToEmpty discharges a full battery under the configuration,
+// measuring standby time directly.
+func RunToEmpty(cfg Config) (*DrainResult, error) { return sim.RunToEmpty(cfg) }
+
+// RunToEmptyAll discharges every configuration in parallel.
+func RunToEmptyAll(ctx context.Context, cfgs []Config, opts RunAllOptions) ([]*DrainResult, error) {
+	return sim.RunToEmptyAll(ctx, cfgs, opts)
+}
+
+// Sweep fans one base configuration across n variants (vary mutates
+// copy i) and runs them all on the pool, results in variant order.
+func Sweep(ctx context.Context, base Config, n int, vary func(int, *Config), opts RunAllOptions) ([]*Result, error) {
+	return sim.Sweep(ctx, base, n, vary, opts)
+}
 
 // Compare runs the same configuration under a baseline and a candidate
 // policy.
 func Compare(cfg Config, base, test string) (Comparison, error) {
 	return sim.Compare(cfg, base, test)
+}
+
+// CompareTrials repeats Compare for trials consecutive seeds with all
+// runs fanned over the parallel pool.
+func CompareTrials(ctx context.Context, cfg Config, base, test string, trials int, opts RunAllOptions) ([]Comparison, error) {
+	return sim.CompareTrials(ctx, cfg, base, test, trials, opts)
 }
 
 // Motivating reproduces the paper's Figure 2 three-alarm example under
