@@ -2,9 +2,11 @@
 #
 #   make verify   — the full pre-merge gate: vet, build, race tests,
 #                   a repeated race pass over the parallel-harness
-#                   paths, and a single-shot pass over the queue
+#                   paths, a short fuzz smoke over the input parsers,
+#                   and a single-shot pass over the queue
 #                   microbenchmarks (smoke, not measurement).
 #   make test     — tier-1 tests only (what CI must keep green).
+#   make fuzz     — the fuzz targets, longer budget.
 #   make bench    — the queue scaling microbenchmarks, measured.
 #
 # CI runs `make verify` on every push and pull request
@@ -12,12 +14,22 @@
 
 GO ?= go
 
-.PHONY: verify test bench vet build
+.PHONY: verify test fuzz bench vet build
+
+# Fuzz budget per target in the verify smoke (Go runs one fuzz target
+# per invocation, hence the two lines).
+FUZZTIME ?= 10s
 
 verify: vet build
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 -run 'RunAll|RunTrials|CompareTrials|Sweep|GoldenRecordParity' ./internal/sim/ .
+	$(GO) test ./internal/apps/ -run '^$$' -fuzz '^FuzzSpecJSON$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/alarm/ -run '^$$' -fuzz '^FuzzQueueOps$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/alarm/ -run '^$$' -bench 'Queue(Insert|Find|PopDue|Realign)' -benchtime=1x -short -timeout 10m
+
+fuzz:
+	$(GO) test ./internal/apps/ -run '^$$' -fuzz '^FuzzSpecJSON$$' -fuzztime 2m
+	$(GO) test ./internal/alarm/ -run '^$$' -fuzz '^FuzzQueueOps$$' -fuzztime 2m
 
 vet:
 	$(GO) vet ./...

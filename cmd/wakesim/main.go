@@ -6,22 +6,36 @@
 //	wakesim [-policy SIMTY] [-workload light|heavy|table3] [-spec file.json]
 //	        [-hours 3] [-beta 0.96] [-seed 1] [-system] [-oneshots 6]
 //	        [-pushes 0] [-screens 0]
+//	        [-leak apps] [-leaknever apps] [-storm app:period_s[:count]]
 //	        [-trace out.csv] [-json out.json] [-timeline MIN] [-anomaly]
 //	        [-toempty] [-v]
 //
 // The trace-export flags (-trace, -json, -timeline, -anomaly) work in
 // both fixed-horizon and -toempty mode; a run-to-empty trace covers the
 // entire discharge.
+//
+// The fault flags inject deterministic misbehaviour (see internal/fault):
+// -leak holds the named apps' wakelocks past release, -leaknever never
+// releases them, and -storm adds a runaway app re-registering a short
+// exact alarm. Combine with -anomaly to watch the detector catch them.
+//
+// Every flag combination is validated before the simulation starts; a
+// bad combination exits non-zero with a one-line error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 
 	"repro/internal/anomaly"
 	"repro/internal/apps"
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -29,169 +43,335 @@ import (
 	"repro/internal/trace"
 )
 
-var (
-	policy    = flag.String("policy", "SIMTY", "alignment policy (NATIVE, NOALIGN, SIMTY, SIMTY-hw2, SIMTY-hw4, SIMTY-DUR)")
-	workload  = flag.String("workload", "heavy", "workload: light, heavy, or table3")
-	specFile  = flag.String("spec", "", "load the workload from a JSON spec file instead (see cmd/tracegen -o)")
-	hours     = flag.Float64("hours", 3, "standby horizon in hours")
-	beta      = flag.Float64("beta", sim.DefaultBeta, "grace factor β")
-	seed      = flag.Int64("seed", 1, "random seed")
-	system    = flag.Bool("system", true, "install background system alarms")
-	oneshots  = flag.Int("oneshots", 6, "number of sporadic one-shot alarms")
-	pushes    = flag.Float64("pushes", 0, "external (GCM-style) wakeups per hour, Poisson arrivals")
-	screens   = flag.Float64("screens", 0, "screen-on sessions per hour, Poisson arrivals")
-	traceCSV  = flag.String("trace", "", "write the event trace as CSV to this file")
-	traceJSON = flag.String("json", "", "write the event trace as JSON to this file")
-	detect    = flag.Bool("anomaly", false, "scan the run for no-sleep energy bugs")
-	toEmpty   = flag.Bool("toempty", false, "simulate from full battery until empty (measures standby time directly)")
-	timeline  = flag.Int("timeline", 0, "render the first N minutes as an ASCII timeline")
-	verbose   = flag.Bool("v", false, "print per-app delivery counts")
-)
+// options holds every flag value. Keeping them on a struct (rather than
+// package-level pointers) lets the tests parse and validate arbitrary
+// argument lists without touching global state.
+type options struct {
+	policy    string
+	workload  string
+	specFile  string
+	hours     float64
+	beta      float64
+	seed      int64
+	system    bool
+	oneshots  int
+	pushes    float64
+	screens   float64
+	leak      string
+	leakNever string
+	storm     string
+	traceCSV  string
+	traceJSON string
+	detect    bool
+	toEmpty   bool
+	timeline  int
+	verbose   bool
+}
+
+// registerFlags binds the options to a FlagSet with their defaults.
+func registerFlags(fs *flag.FlagSet) *options {
+	o := &options{}
+	fs.StringVar(&o.policy, "policy", "SIMTY", "alignment policy (NATIVE, NOALIGN, SIMTY, SIMTY-hw2, SIMTY-hw4, SIMTY-DUR)")
+	fs.StringVar(&o.workload, "workload", "heavy", "workload: light, heavy, or table3")
+	fs.StringVar(&o.specFile, "spec", "", "load the workload from a JSON spec file instead (see cmd/tracegen -o)")
+	fs.Float64Var(&o.hours, "hours", 3, "standby horizon in hours")
+	fs.Float64Var(&o.beta, "beta", sim.DefaultBeta, "grace factor β")
+	fs.Int64Var(&o.seed, "seed", 1, "random seed")
+	fs.BoolVar(&o.system, "system", true, "install background system alarms")
+	fs.IntVar(&o.oneshots, "oneshots", 6, "number of sporadic one-shot alarms")
+	fs.Float64Var(&o.pushes, "pushes", 0, "external (GCM-style) wakeups per hour, Poisson arrivals")
+	fs.Float64Var(&o.screens, "screens", 0, "screen-on sessions per hour, Poisson arrivals")
+	fs.StringVar(&o.leak, "leak", "", "comma-separated apps whose wakelock leaks (held 5 min past release)")
+	fs.StringVar(&o.leakNever, "leaknever", "", "comma-separated apps whose wakelock is never released")
+	fs.StringVar(&o.storm, "storm", "", "alarm storm spec app:period_s[:count], e.g. rogue:5")
+	fs.StringVar(&o.traceCSV, "trace", "", "write the event trace as CSV to this file")
+	fs.StringVar(&o.traceJSON, "json", "", "write the event trace as JSON to this file")
+	fs.BoolVar(&o.detect, "anomaly", false, "scan the run for no-sleep energy bugs")
+	fs.BoolVar(&o.toEmpty, "toempty", false, "simulate from full battery until empty (measures standby time directly)")
+	fs.IntVar(&o.timeline, "timeline", 0, "render the first N minutes as an ASCII timeline")
+	fs.BoolVar(&o.verbose, "v", false, "print per-app delivery counts")
+	return o
+}
+
+// validate checks every flag value and combination before anything
+// runs. explicit holds the flags the user actually set (flag.Visit), so
+// conflicts between a default and an explicit flag don't false-positive.
+func (o *options) validate(explicit map[string]bool) error {
+	if _, err := sim.PolicyByName(o.policy); err != nil {
+		return err
+	}
+	if o.specFile != "" && explicit["workload"] {
+		return fmt.Errorf("-spec and -workload are mutually exclusive: the spec file is the workload")
+	}
+	if o.specFile == "" {
+		switch o.workload {
+		case "light", "heavy", "table3":
+		default:
+			return fmt.Errorf("unknown workload %q (want light, heavy, or table3)", o.workload)
+		}
+	}
+	if !(o.hours > 0) || math.IsInf(o.hours, 0) { // !(x>0) also catches NaN
+		return fmt.Errorf("-hours %v: want a positive finite horizon", o.hours)
+	}
+	if !(o.beta > 0 && o.beta < 1) {
+		return fmt.Errorf("-beta %v: the grace factor must lie in (0,1)", o.beta)
+	}
+	if o.oneshots < 0 {
+		return fmt.Errorf("-oneshots %d: want a non-negative count", o.oneshots)
+	}
+	if !(o.pushes >= 0) || math.IsInf(o.pushes, 0) {
+		return fmt.Errorf("-pushes %v: want a non-negative finite rate", o.pushes)
+	}
+	if !(o.screens >= 0) || math.IsInf(o.screens, 0) {
+		return fmt.Errorf("-screens %v: want a non-negative finite rate", o.screens)
+	}
+	if o.timeline < 0 {
+		return fmt.Errorf("-timeline %d: want a non-negative minute count", o.timeline)
+	}
+	if _, err := o.faultPlan(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// faultPlan translates the fault flags into an injection plan, or nil
+// when none are set. App-name validation against the workload happens
+// in sim.Config validation, where the installed set is known.
+func (o *options) faultPlan() (*fault.Plan, error) {
+	var p fault.Plan
+	for _, app := range splitApps(o.leak) {
+		p.Leaks = append(p.Leaks, fault.Leak{App: app, Mode: fault.LeakLate})
+	}
+	for _, app := range splitApps(o.leakNever) {
+		p.Leaks = append(p.Leaks, fault.Leak{App: app, Mode: fault.LeakNever})
+	}
+	if o.storm != "" {
+		s, err := parseStorm(o.storm)
+		if err != nil {
+			return nil, err
+		}
+		p.Storms = append(p.Storms, s)
+	}
+	if p.Empty() {
+		return nil, nil
+	}
+	return &p, nil
+}
+
+func splitApps(list string) []string {
+	var out []string
+	for _, a := range strings.Split(list, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// parseStorm reads "app:period_s[:count]".
+func parseStorm(spec string) (fault.Storm, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 || len(parts) > 3 || parts[0] == "" {
+		return fault.Storm{}, fmt.Errorf("-storm %q: want app:period_s[:count]", spec)
+	}
+	period, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil || !(period > 0) || math.IsInf(period, 0) || period > 1e9 {
+		return fault.Storm{}, fmt.Errorf("-storm %q: want a positive period in seconds", spec)
+	}
+	s := fault.Storm{App: parts[0], Period: simclock.Duration(period * float64(simclock.Second))}
+	if s.Period <= 0 {
+		return fault.Storm{}, fmt.Errorf("-storm %q: period below the 1 ms clock granularity", spec)
+	}
+	if len(parts) == 3 {
+		count, err := strconv.Atoi(parts[2])
+		if err != nil || count < 0 {
+			return fault.Storm{}, fmt.Errorf("-storm %q: want a non-negative delivery count", spec)
+		}
+		s.Count = count
+	}
+	return s, nil
+}
+
+// loadWorkload resolves -spec / -workload into specs and a display name.
+func (o *options) loadWorkload() ([]apps.Spec, string, error) {
+	if o.specFile != "" {
+		f, err := os.Open(o.specFile)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		specs, err := apps.ReadSpecs(f)
+		if err != nil {
+			return nil, "", err
+		}
+		return specs, o.specFile, nil
+	}
+	if o.workload == "light" {
+		return apps.LightWorkload(), o.workload, nil
+	}
+	return apps.HeavyWorkload(), o.workload, nil
+}
+
+// config assembles the validated options into a run configuration.
+func (o *options) config(specs []apps.Spec, name string) (sim.Config, error) {
+	plan, err := o.faultPlan()
+	if err != nil {
+		return sim.Config{}, err
+	}
+	return sim.Config{
+		Name:                  name,
+		Policy:                o.policy,
+		Workload:              specs,
+		SystemAlarms:          o.system,
+		OneShots:              o.oneshots,
+		Duration:              simclock.Duration(o.hours * float64(simclock.Hour)),
+		Beta:                  o.beta,
+		Seed:                  o.seed,
+		PushesPerHour:         o.pushes,
+		ScreenSessionsPerHour: o.screens,
+		Faults:                plan,
+		CollectTrace:          o.traceCSV != "" || o.traceJSON != "" || o.detect || o.timeline > 0,
+	}, nil
+}
 
 func main() {
+	opts := registerFlags(flag.CommandLine)
 	flag.Parse()
-	var specs []apps.Spec
-	if *specFile != "" {
-		f, err := os.Open(*specFile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		specs, err = apps.ReadSpecs(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		*workload = *specFile
-	} else {
-		switch *workload {
-		case "light":
-			specs = apps.LightWorkload()
-		case "heavy", "table3":
-			specs = apps.HeavyWorkload()
-		default:
-			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
-			os.Exit(2)
-		}
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if err := opts.validate(explicit); err != nil {
+		fail(err)
+	}
+	if err := opts.run(os.Stdout); err != nil {
+		fail(err)
+	}
+}
+
+// fail prints the one-line error contract: no stack, no usage dump,
+// non-zero exit.
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "wakesim: %v\n", err)
+	os.Exit(1)
+}
+
+// run executes the simulation the options describe and writes the
+// report to w. Every failure comes back as an error for main's one-line
+// exit path.
+func (o *options) run(w io.Writer) error {
+	specs, name, err := o.loadWorkload()
+	if err != nil {
+		return err
+	}
+	cfg, err := o.config(specs, name)
+	if err != nil {
+		return err
 	}
 
-	cfg := sim.Config{
-		Name:                  *workload,
-		Policy:                *policy,
-		Workload:              specs,
-		SystemAlarms:          *system,
-		OneShots:              *oneshots,
-		Duration:              simclock.Duration(*hours * float64(simclock.Hour)),
-		Beta:                  *beta,
-		Seed:                  *seed,
-		PushesPerHour:         *pushes,
-		ScreenSessionsPerHour: *screens,
-		CollectTrace:          *traceCSV != "" || *traceJSON != "" || *detect || *timeline > 0,
-	}
-	if *toEmpty {
+	if o.toEmpty {
 		d, err := sim.RunToEmpty(cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("policy %s, workload %s: battery empty after %.1f h (%d wakeups, %d pushes)\n",
-			d.PolicyName, *workload, d.StandbyHours, d.Wakeups, d.Pushes)
+		fmt.Fprintf(w, "policy %s, workload %s: battery empty after %.1f h (%d wakeups, %d pushes)\n",
+			d.PolicyName, name, d.StandbyHours, d.Wakeups, d.Pushes)
 		// The drain's trace covers the whole discharge, so the export
 		// flags work here exactly as in a fixed-horizon run.
-		exportArtifacts(d.Trace, d.End)
-		return
+		return o.exportArtifacts(w, d.Trace, d.End)
 	}
 
 	r, err := sim.Run(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 
-	fmt.Printf("policy %s, workload %s, %.1f h, β=%.2f, seed %d\n",
-		r.PolicyName, *workload, *hours, cfg.Beta, *seed)
-	fmt.Printf("energy: %s\n", r.Energy.String())
-	fmt.Printf("average power %.1f mW → projected standby %.1f h\n",
+	fmt.Fprintf(w, "policy %s, workload %s, %.1f h, β=%.2f, seed %d\n",
+		r.PolicyName, name, o.hours, cfg.Beta, o.seed)
+	fmt.Fprintf(w, "energy: %s\n", r.Energy.String())
+	fmt.Fprintf(w, "average power %.1f mW → projected standby %.1f h\n",
 		r.Energy.AveragePowerMW(), r.StandbyHours)
-	fmt.Printf("wakeups %d for %d deliveries (%.1f deliveries/wakeup)\n",
+	fmt.Fprintf(w, "wakeups %d for %d deliveries (%.1f deliveries/wakeup)\n",
 		r.FinalWakeups, len(r.Records), float64(len(r.Records))/float64(max(1, r.FinalWakeups)))
-	fmt.Printf("delays: perceptible %.3f%%, imperceptible %.2f%% (apps only)\n",
+	fmt.Fprintf(w, "delays: perceptible %.3f%%, imperceptible %.2f%% (apps only)\n",
 		r.Delays.PerceptibleMean*100, r.Delays.ImperceptibleMean*100)
 	if gaps := metrics.WakeupGaps(r.Records); gaps.N > 0 {
-		fmt.Printf("wakeup spacing: min %v, mean %.1fs, max %v\n", gaps.Min, gaps.Mean, gaps.Max)
+		fmt.Fprintf(w, "wakeup spacing: min %v, mean %.1fs, max %v\n", gaps.Min, gaps.Mean, gaps.Max)
+	}
+	if len(r.FaultEvents) > 0 {
+		fmt.Fprintf(w, "injected faults: %d event(s)\n", len(r.FaultEvents))
+		for _, e := range r.FaultEvents {
+			fmt.Fprintf(w, "  %v %s %s: %s\n", e.At, e.App, e.Kind, e.Detail)
+		}
 	}
 
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "hardware\twakeups/expected\tratio")
-	fmt.Fprintf(w, "CPU\t%s\t%.2f\n", r.Wakeups.CPU, r.Wakeups.CPU.Ratio())
-	fmt.Fprintf(w, "Speaker&Vibrator\t%s\t%.2f\n", r.SpkVib, r.SpkVib.Ratio())
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "hardware\twakeups/expected\tratio")
+	fmt.Fprintf(tw, "CPU\t%s\t%.2f\n", r.Wakeups.CPU, r.Wakeups.CPU.Ratio())
+	fmt.Fprintf(tw, "Speaker&Vibrator\t%s\t%.2f\n", r.SpkVib, r.SpkVib.Ratio())
 	for _, c := range []hw.Component{hw.WiFi, hw.WPS, hw.Accelerometer} {
 		row := r.Wakeups.Component[c]
 		if row.Expected == 0 {
 			continue
 		}
-		fmt.Fprintf(w, "%s\t%s\t%.2f\n", c, row, row.Ratio())
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\n", c, row, row.Ratio())
 	}
-	w.Flush()
+	tw.Flush()
 
-	if *verbose {
-		fmt.Println("\ndeliveries per app:")
+	if o.verbose {
+		fmt.Fprintln(w, "\ndeliveries per app:")
 		counts := metrics.CountByApp(r.Records)
-		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 		for _, s := range specs {
-			fmt.Fprintf(w, "%s\t%d\n", s.Name, counts[s.Name])
+			fmt.Fprintf(tw, "%s\t%d\n", s.Name, counts[s.Name])
 		}
-		w.Flush()
+		tw.Flush()
 	}
 
-	exportArtifacts(r.Trace, simclock.Time(r.Config.Duration))
+	return o.exportArtifacts(w, r.Trace, simclock.Time(r.Config.Duration))
 }
 
 // exportArtifacts renders the timeline, anomaly scan, and trace exports
 // from a finished run's event log. end is the simulation's final
 // virtual time — the horizon for a fixed-duration run, the moment the
 // battery died for a run-to-empty discharge.
-func exportArtifacts(lg *trace.Logger, end simclock.Time) {
+func (o *options) exportArtifacts(w io.Writer, lg *trace.Logger, end simclock.Time) error {
 	if lg == nil {
-		return
+		return nil
 	}
 
-	if *timeline > 0 {
-		to := simclock.Time(simclock.Duration(*timeline) * simclock.Minute)
+	if o.timeline > 0 {
+		to := simclock.Time(simclock.Duration(o.timeline) * simclock.Minute)
 		if to > end {
 			to = end
 		}
-		fmt.Println()
-		fmt.Print(trace.Timeline(lg.Events(), 0, to, 100))
+		fmt.Fprintln(w)
+		fmt.Fprint(w, trace.Timeline(lg.Events(), 0, to, 100))
 	}
 
-	if *detect {
+	if o.detect {
 		findings := (&anomaly.Detector{}).Analyze(lg.Events(), end)
 		if len(findings) == 0 {
-			fmt.Println("\nanomaly scan: clean — no suspicious wakelock holds")
+			fmt.Fprintln(w, "\nanomaly scan: clean — no suspicious wakelock holds")
 		} else {
-			fmt.Printf("\nanomaly scan: %d finding(s)\n", len(findings))
+			fmt.Fprintf(w, "\nanomaly scan: %d finding(s)\n", len(findings))
 			for _, f := range findings {
-				fmt.Printf("  %s\n", f)
+				fmt.Fprintf(w, "  %s\n", f)
 			}
 		}
 	}
 
-	if *traceCSV != "" {
-		if err := writeFile(*traceCSV, func(f *os.File) error { return lg.WriteCSV(f) }); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	if o.traceCSV != "" {
+		if err := writeFile(o.traceCSV, func(f *os.File) error { return lg.WriteCSV(f) }); err != nil {
+			return err
 		}
-		fmt.Printf("trace written to %s (%d events)\n", *traceCSV, len(lg.Events()))
+		fmt.Fprintf(w, "trace written to %s (%d events)\n", o.traceCSV, len(lg.Events()))
 	}
-	if *traceJSON != "" {
-		if err := writeFile(*traceJSON, func(f *os.File) error { return lg.WriteJSON(f) }); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	if o.traceJSON != "" {
+		if err := writeFile(o.traceJSON, func(f *os.File) error { return lg.WriteJSON(f) }); err != nil {
+			return err
 		}
-		fmt.Printf("trace written to %s\n", *traceJSON)
+		fmt.Fprintf(w, "trace written to %s\n", o.traceJSON)
 	}
+	return nil
 }
 
 func writeFile(path string, fn func(*os.File) error) error {

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/simclock"
+)
+
+// parse runs an argument list through a fresh FlagSet exactly as main
+// does, returning the options and the explicitly-set flag names.
+func parse(t *testing.T, args ...string) (*options, map[string]bool) {
+	t.Helper()
+	fs := flag.NewFlagSet("wakesim", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	o := registerFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	return o, explicit
+}
+
+// TestValidateFlagCombinations is the satellite's table-driven test:
+// every rejected combination must fail validation up front with a
+// one-line error naming the offending flag, and legitimate combinations
+// must pass.
+func TestValidateFlagCombinations(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // error substring; "" means the combination is valid
+	}{
+		{"defaults", nil, ""},
+		{"light workload", []string{"-workload", "light"}, ""},
+		{"explicit default workload", []string{"-workload", "heavy"}, ""},
+		{"spec file alone", []string{"-spec", "w.json"}, ""},
+		{"every policy spelled right", []string{"-policy", "simty-hw4"}, ""},
+		{"toempty with exports", []string{"-toempty", "-anomaly", "-timeline", "10"}, ""},
+		{"fault flags", []string{"-leak", "Viber,Weibo", "-leaknever", "Line", "-storm", "rogue:5"}, ""},
+		{"storm with count", []string{"-storm", "rogue:0.5:100"}, ""},
+
+		{"unknown policy", []string{"-policy", "BOGUS"}, "unknown policy"},
+		{"unknown workload", []string{"-workload", "gigantic"}, "unknown workload"},
+		{"spec and workload", []string{"-spec", "w.json", "-workload", "light"}, "mutually exclusive"},
+		{"zero hours", []string{"-hours", "0"}, "-hours"},
+		{"negative hours", []string{"-hours", "-3"}, "-hours"},
+		{"NaN hours", []string{"-hours", "NaN"}, "-hours"},
+		{"beta zero", []string{"-beta", "0"}, "-beta"},
+		{"beta one", []string{"-beta", "1"}, "-beta"},
+		{"beta NaN", []string{"-beta", "NaN"}, "-beta"},
+		{"negative oneshots", []string{"-oneshots", "-1"}, "-oneshots"},
+		{"negative pushes", []string{"-pushes", "-2"}, "-pushes"},
+		{"infinite pushes", []string{"-pushes", "Inf"}, "-pushes"},
+		{"negative screens", []string{"-screens", "-1"}, "-screens"},
+		{"negative timeline", []string{"-timeline", "-5"}, "-timeline"},
+		{"storm missing period", []string{"-storm", "rogue"}, "-storm"},
+		{"storm empty app", []string{"-storm", ":5"}, "-storm"},
+		{"storm zero period", []string{"-storm", "rogue:0"}, "-storm"},
+		{"storm sub-ms period", []string{"-storm", "rogue:1e-9"}, "-storm"},
+		{"storm bad count", []string{"-storm", "rogue:5:x"}, "-storm"},
+		{"storm negative count", []string{"-storm", "rogue:5:-1"}, "-storm"},
+		{"storm too many fields", []string{"-storm", "a:b:c:d"}, "-storm"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			o, explicit := parse(t, c.args...)
+			err := o.validate(explicit)
+			if c.want == "" {
+				if err != nil {
+					t.Fatalf("valid combination rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid combination %v accepted", c.args)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not name %q", err, c.want)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("error is not one line: %q", err)
+			}
+		})
+	}
+}
+
+// TestFaultPlanFromFlags checks the flag→plan translation.
+func TestFaultPlanFromFlags(t *testing.T) {
+	o, _ := parse(t, "-leak", " Viber , Weibo ", "-leaknever", "Line", "-storm", "rogue:5:42")
+	plan, err := o.faultPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Leaks) != 3 {
+		t.Fatalf("%d leaks: %+v", len(plan.Leaks), plan.Leaks)
+	}
+	if plan.Leaks[0].App != "Viber" || plan.Leaks[0].Mode != fault.LeakLate {
+		t.Errorf("leak 0: %+v", plan.Leaks[0])
+	}
+	if plan.Leaks[2].App != "Line" || plan.Leaks[2].Mode != fault.LeakNever {
+		t.Errorf("leak 2: %+v", plan.Leaks[2])
+	}
+	if len(plan.Storms) != 1 || plan.Storms[0].App != "rogue" ||
+		plan.Storms[0].Period != 5*simclock.Second || plan.Storms[0].Count != 42 {
+		t.Errorf("storm: %+v", plan.Storms)
+	}
+
+	o, _ = parse(t)
+	if plan, err := o.faultPlan(); err != nil || plan != nil {
+		t.Errorf("no fault flags produced plan %+v, err %v", plan, err)
+	}
+}
+
+// TestRunEndToEnd drives the full CLI path (short horizon) including a
+// fault plan with the anomaly scan, and checks the error path for an
+// app the workload does not contain.
+func TestRunEndToEnd(t *testing.T) {
+	o, _ := parse(t, "-workload", "light", "-hours", "0.5", "-leaknever", "Facebook", "-anomaly")
+	var out bytes.Buffer
+	if err := o.run(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "injected faults:") {
+		t.Errorf("fault events missing from the report:\n%s", s)
+	}
+	if !strings.Contains(s, "anomaly scan:") || !strings.Contains(s, "Facebook") {
+		t.Errorf("anomaly scan did not flag the leaky app:\n%s", s)
+	}
+
+	o, _ = parse(t, "-workload", "light", "-hours", "0.5", "-leak", "NoSuchApp")
+	if err := o.run(io.Discard); err == nil || !strings.Contains(err.Error(), "NoSuchApp") {
+		t.Fatalf("leak target outside the workload accepted: %v", err)
+	}
+}

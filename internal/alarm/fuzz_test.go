@@ -1,0 +1,63 @@
+package alarm
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+// FuzzQueueOps interprets the fuzz input as a sequence of queue
+// operations — insert, remove, pop-due, realign, clear — over a small
+// alarm-ID space and checks the queue's structural invariants after
+// every step. The queue is the simulator's hot path (every policy
+// decision and delivery goes through it), so "no sequence of calls can
+// corrupt it" is the property worth buying with fuzz cycles.
+func FuzzQueueOps(f *testing.F) {
+	f.Add([]byte{0x00, 0x11, 0x22, 0x33})
+	f.Add([]byte{0x01, 0x01, 0x01, 0x01, 0x81, 0x81})
+	f.Add([]byte{0x00, 0x40, 0x80, 0xc0, 0x00, 0x40})
+	f.Add([]byte("insert remove pop clear realign"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q Queue
+		pol := Native{}
+		now := simclock.Time(0)
+		for _, b := range data {
+			id := fmt.Sprintf("a%d", b&0x0f)
+			switch (b >> 4) & 0x07 {
+			case 0, 1, 2: // bias toward inserts: they grow the structure
+				a := &Alarm{
+					ID:      id,
+					App:     "fuzz",
+					Nominal: now.Add(simclock.Duration(b&0x3f) * simclock.Second),
+					Window:  simclock.Duration(b&0x30) * simclock.Second,
+				}
+				if e := q.Insert(a, pol, now); e == nil {
+					t.Fatal("Insert returned no entry for a valid alarm")
+				}
+			case 3:
+				q.Remove(id)
+			case 4:
+				now = now.Add(simclock.Duration(b&0x1f) * simclock.Second)
+				q.PopDue(now)
+			case 5:
+				a := &Alarm{ID: id, App: "fuzz", Nominal: now.Add(simclock.Minute)}
+				q.Remove(id)
+				q.Realign(a, pol, now)
+			case 6:
+				q.Clear()
+			case 7: // documented misuse tolerance: nil inputs are no-ops
+				if q.Insert(nil, pol, now) != nil || q.Insert(&Alarm{ID: id}, nil, now) != nil {
+					t.Fatal("nil insert produced an entry")
+				}
+			}
+			// checkQueueInvariants (queue_property_test.go) asserts
+			// sortedness, no duplicate IDs, no empty entries, and a
+			// consistent alarm count.
+			if err := checkQueueInvariants(t, &q); err != nil {
+				t.Fatalf("after op %#x: %v", b, err)
+			}
+		}
+	})
+}

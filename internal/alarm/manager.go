@@ -123,6 +123,9 @@ func (m *Manager) QueueFor(k Kind) *Queue {
 // may change the alarm's Kind: any stale copy is removed from both
 // queues first, so an ID is never queued twice across kinds.
 func (m *Manager) Set(a *Alarm) error {
+	if a == nil {
+		return fmt.Errorf("alarm: Set nil alarm")
+	}
 	if err := a.Validate(); err != nil {
 		return err
 	}

@@ -182,7 +182,12 @@ func (q *Queue) Alarms() []*Alarm {
 // gets the documented fallback — the alarm opens a new entry — instead
 // of crashing the simulation (user-supplied policies are invited by
 // examples/custompolicy, so an out-of-range pick must not panic).
+// Inserting a nil alarm or passing a nil policy is caller misuse and
+// returns nil without queuing anything.
 func (q *Queue) Insert(a *Alarm, p Policy, now simclock.Time) *Entry {
+	if a == nil || p == nil {
+		return nil
+	}
 	if q.byID[a.ID] != nil {
 		q.Remove(a.ID)
 	}

@@ -103,6 +103,10 @@ func (d *Detector) Analyze(events []trace.Event, horizon simclock.Time) []Findin
 	opens := map[hw.Component]*open{}
 	var tasks []openTask
 	var findings []Finding
+	// faulted collects apps named by fault events (an active
+	// fault-injection plan records what it did): a suspect the injector
+	// itself incriminates outranks circumstantial ones.
+	faulted := map[string]bool{}
 
 	closeStretch := func(c hw.Component, o *open, until simclock.Time, kind Kind) {
 		held := until.Sub(o.since)
@@ -126,10 +130,14 @@ func (d *Detector) Analyze(events []trace.Event, horizon simclock.Time) []Findin
 		for i := len(o.delivered) - 1; i >= 0; i-- {
 			fallback = append(fallback, o.delivered[i])
 		}
+		suspects := dedupe(append(primary, fallback...))
+		if len(faulted) > 0 {
+			suspects = promote(suspects, faulted)
+		}
 		findings = append(findings, Finding{
 			Kind: kind, Component: c,
 			Since: o.since, Until: until, Held: held,
-			Suspects: dedupe(append(primary, fallback...)),
+			Suspects: suspects,
 		})
 	}
 
@@ -162,6 +170,10 @@ func (d *Detector) Analyze(events []trace.Event, horizon simclock.Time) []Findin
 					o.delivered = append(o.delivered, e.Delivery.App)
 				}
 			}
+		case trace.EventFault:
+			if e.Tag != "" {
+				faulted[e.Tag] = true
+			}
 		}
 	}
 	for c, o := range opens {
@@ -174,6 +186,20 @@ func (d *Detector) Analyze(events []trace.Event, horizon simclock.Time) []Findin
 		return findings[i].Component < findings[j].Component
 	})
 	return findings
+}
+
+// promote stably partitions suspects so apps the fault injector named
+// come first; relative order within each half is preserved.
+func promote(suspects []string, faulted map[string]bool) []string {
+	var first, rest []string
+	for _, s := range suspects {
+		if faulted[s] {
+			first = append(first, s)
+		} else {
+			rest = append(rest, s)
+		}
+	}
+	return append(first, rest...)
 }
 
 func dedupe(xs []string) []string {

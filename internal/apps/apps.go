@@ -119,6 +119,20 @@ func SystemSpecs() []Spec {
 	}
 }
 
+// FaultInjector perturbs application behaviour at install and delivery
+// time. internal/fault provides the standard implementation; the
+// interface lives here so this package does not depend on the fault
+// model. A nil injector means every app is well-behaved.
+type FaultInjector interface {
+	// InstallSkew returns a clock-skew offset added to app's first
+	// nominal time (zero for well-behaved apps).
+	InstallSkew(app string) simclock.Duration
+	// PerturbTask maps one delivery's nominal task duration to an extra
+	// pre-task latency and the possibly faulted duration (wakelock
+	// leaks, overruns).
+	PerturbTask(app string, dur simclock.Duration) (delay, out simclock.Duration)
+}
+
 // Runtime installs application specs on a device + alarm manager pair,
 // turning each Spec into a live alarm whose delivery callback runs the
 // app's task on the device and reveals its hardware set.
@@ -137,6 +151,10 @@ type Runtime struct {
 	// observation that achievable data rates "vary widely over time"
 	// (§1, ref [8]). Zero means deterministic durations. Requires Rng.
 	Jitter float64
+	// Faults, when non-nil, lets a fault-injection plan perturb app
+	// behaviour (see FaultInjector). Applied after Jitter, so a leak's
+	// infinite hold is never re-randomized away.
+	Faults FaultInjector
 }
 
 // NewRuntime wires a runtime. A nil rng makes phases deterministic
@@ -193,20 +211,35 @@ func (r *Runtime) Build(s Spec, nominal simclock.Time) *alarm.Alarm {
 			// any simulation horizon).
 			dur = 100000 * simclock.Hour
 		}
-		r.Dev.RunTaskTagged(spec.Name, spec.HW, dur)
+		var delay simclock.Duration
+		if r.Faults != nil {
+			delay, dur = r.Faults.PerturbTask(spec.Name, dur)
+		}
+		r.Dev.RunTaskDelayed(spec.Name, spec.HW, delay, dur)
 		return spec.HW
 	}
 	return a
 }
 
 // Install registers every spec with a phase-staggered first nominal
-// time in now + (0, period].
+// time in now + (0, period], shifted further by any clock skew the
+// fault injector assigns (clamped so the first firing stays in the
+// future).
 func (r *Runtime) Install(specs []Spec) error {
 	now := r.Clock.Now()
 	for _, s := range specs {
+		if s.Period <= 0 {
+			return fmt.Errorf("apps: install %s: non-positive period %v", s.Name, s.Period)
+		}
 		offset := s.Period
 		if r.Rng != nil {
 			offset = simclock.Duration(1 + r.Rng.Int63n(int64(s.Period)))
+		}
+		if r.Faults != nil {
+			offset += r.Faults.InstallSkew(s.Name)
+			if offset < simclock.Millisecond {
+				offset = simclock.Millisecond
+			}
 		}
 		if err := r.Mgr.Set(r.Build(s, now.Add(offset))); err != nil {
 			return fmt.Errorf("apps: install %s: %w", s.Name, err)

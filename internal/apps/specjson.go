@@ -4,10 +4,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/hw"
 	"repro/internal/simclock"
 )
+
+// maxSpecSeconds bounds period_s and task_s: conversions beyond it
+// would overflow the millisecond Duration (and no standby scenario
+// needs a 30,000-year alarm). Guarding before the float→int conversion
+// matters because out-of-range conversions are implementation-defined.
+const maxSpecSeconds = 1e12
 
 // specJSON is the on-disk form of a Spec: durations in seconds (the unit
 // Table 3 uses), hardware as component names.
@@ -62,18 +69,31 @@ func ReadSpecs(r io.Reader) ([]Spec, error) {
 		if j.Name == "" {
 			return nil, fmt.Errorf("apps: spec %d: empty name", i)
 		}
-		if j.PeriodS <= 0 {
-			return nil, fmt.Errorf("apps: spec %q: non-positive period", j.Name)
+		// NaN slips through ordered comparisons (NaN <= 0 is false), so
+		// finiteness is checked explicitly: a NaN or ±Inf attribute must
+		// be an error, never a poisoned Duration.
+		if math.IsNaN(j.PeriodS) || math.IsNaN(j.Alpha) || math.IsNaN(j.TaskDurS) ||
+			math.IsInf(j.PeriodS, 0) || math.IsInf(j.Alpha, 0) || math.IsInf(j.TaskDurS, 0) {
+			return nil, fmt.Errorf("apps: spec %q: non-finite attribute", j.Name)
+		}
+		if j.PeriodS <= 0 || j.PeriodS > maxSpecSeconds {
+			return nil, fmt.Errorf("apps: spec %q: period %v outside (0, %g] s", j.Name, j.PeriodS, float64(maxSpecSeconds))
 		}
 		if j.Alpha < 0 || j.Alpha >= 1 {
 			return nil, fmt.Errorf("apps: spec %q: alpha %v outside [0,1)", j.Name, j.Alpha)
 		}
-		if j.TaskDurS < 0 {
-			return nil, fmt.Errorf("apps: spec %q: negative task duration", j.Name)
+		if j.TaskDurS < 0 || j.TaskDurS > maxSpecSeconds {
+			return nil, fmt.Errorf("apps: spec %q: task duration %v outside [0, %g] s", j.Name, j.TaskDurS, float64(maxSpecSeconds))
+		}
+		period := simclock.Duration(j.PeriodS * float64(simclock.Second))
+		if period <= 0 {
+			// A sub-millisecond period truncates to zero at the clock's
+			// granularity and would divide-by-zero the phase stagger.
+			return nil, fmt.Errorf("apps: spec %q: period %v s below the 1 ms clock granularity", j.Name, j.PeriodS)
 		}
 		var set = Spec{
 			Name:       j.Name,
-			Period:     simclock.Duration(j.PeriodS * float64(simclock.Second)),
+			Period:     period,
 			Alpha:      j.Alpha,
 			Dynamic:    j.Dynamic,
 			TaskDur:    simclock.Duration(j.TaskDurS * float64(simclock.Second)),

@@ -51,6 +51,11 @@ type Device struct {
 	// when they are released. The tag identifies the task's owner, like
 	// an Android wakelock tag.
 	onTask func(tag string, set hw.Set, start bool)
+
+	// violation, when set, absorbs contract violations (RunTask while
+	// asleep, negative durations) instead of panicking; the offending
+	// task is dropped.
+	violation func(detail string)
 }
 
 // New creates a sleeping device with the given power profile. The seed
@@ -147,6 +152,16 @@ func (d *Device) finishWake() {
 // OnTask installs the task lifecycle observer (e.g. the trace logger).
 func (d *Device) OnTask(fn func(tag string, set hw.Set, start bool)) { d.onTask = fn }
 
+// SetViolationHandler routes RunTask contract violations (called while
+// the device is not awake, or with a negative duration or delay) to fn
+// instead of panicking; the offending task is dropped and the run
+// continues. This is the graceful-degradation mode used while a fault
+// plan is active: a misbehaving simulated app becomes a recorded fault
+// event, not a crashed run. A nil fn restores the default
+// panic-on-violation contract, under which a violation is a
+// library-internal bug.
+func (d *Device) SetViolationHandler(fn func(detail string)) { d.violation = fn }
+
 // RunTask executes an alarm task that wakelocks the given component set
 // for dur. Access to each component is serialized, so the task starts at
 // the earliest instant every needed component is free. RunTask must be
@@ -159,14 +174,32 @@ func (d *Device) RunTask(set hw.Set, dur simclock.Duration) (start, end simclock
 // RunTaskTagged is RunTask with a wakelock tag identifying the task's
 // owner, as Android wakelocks carry.
 func (d *Device) RunTaskTagged(tag string, set hw.Set, dur simclock.Duration) (start, end simclock.Time) {
+	return d.RunTaskDelayed(tag, set, 0, dur)
+}
+
+// RunTaskDelayed is RunTaskTagged with an extra pre-start latency,
+// modelling a slow handler: the device stays awake while the task waits
+// delay before acquiring its wakelocks (on top of any per-component
+// serialization). Contract violations panic unless a violation handler
+// absorbs them, in which case the task is dropped and both returned
+// times are now.
+func (d *Device) RunTaskDelayed(tag string, set hw.Set, delay, dur simclock.Duration) (start, end simclock.Time) {
+	now := d.clock.Now()
 	if d.st != awake {
+		if d.violation != nil {
+			d.violation(fmt.Sprintf("task %q while device not awake (state %d)", tag, d.st))
+			return now, now
+		}
 		panic(fmt.Sprintf("device: RunTask in state %d (device must be awake)", d.st))
 	}
-	if dur < 0 {
+	if dur < 0 || delay < 0 {
+		if d.violation != nil {
+			d.violation(fmt.Sprintf("task %q with negative duration %v/delay %v", tag, dur, delay))
+			return now, now
+		}
 		panic("device: RunTask with negative duration")
 	}
-	now := d.clock.Now()
-	start = now
+	start = now.Add(delay)
 	for _, c := range set.Components() {
 		if d.nextFree[c] > start {
 			start = d.nextFree[c]

@@ -23,6 +23,17 @@ type TransitionListener interface {
 type WakelockManager struct {
 	counts    [NumComponents]int
 	listeners []TransitionListener
+	violation func(c Component, detail string)
+}
+
+// SetViolationHandler routes refcounting violations (releasing an
+// unheld component) to fn instead of panicking: the graceful-degradation
+// mode used while a fault plan is active, where a misbehaving simulated
+// app must become a recorded fault event rather than a crashed run.
+// A nil fn restores the default panic-on-violation contract, under
+// which a violation is a library-internal bug.
+func (m *WakelockManager) SetViolationHandler(fn func(c Component, detail string)) {
+	m.violation = fn
 }
 
 // NewWakelockManager returns an empty manager.
@@ -49,10 +60,16 @@ func (m *WakelockManager) Acquire(s Set) {
 }
 
 // Release drops one wakelock reference on every component in s. Releasing
-// a component that has no holders is a refcounting bug and panics.
+// a component that has no holders is a refcounting bug: it panics, unless
+// a violation handler is installed, in which case the release of that
+// component is dropped and reported.
 func (m *WakelockManager) Release(s Set) {
 	for _, c := range s.Components() {
 		if m.counts[c] == 0 {
+			if m.violation != nil {
+				m.violation(c, fmt.Sprintf("release of unheld component %v", c))
+				continue
+			}
 			panic(fmt.Sprintf("hw: release of unheld component %v", c))
 		}
 		m.counts[c]--

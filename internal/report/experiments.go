@@ -80,6 +80,7 @@ func All() []Experiment {
 		{"ablations", "hw-similarity levels, β sweep, latency, realignment", Ablations},
 		{"drain", "measured full-battery standby time per policy (extension 1/4–1/3)", Drain},
 		{"scaling", "standby vs number of resident apps (§1's motivation)", Scaling},
+		{"robustness", "savings under injected wakelock leaks and alarm storms", Robustness},
 	}
 }
 

@@ -69,7 +69,7 @@ func TestCSVQuoting(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 10 {
+	if len(all) != 11 {
 		t.Fatalf("experiments = %d", len(all))
 	}
 	seen := map[string]bool{}
@@ -281,5 +281,30 @@ func TestAblationsBuilds(t *testing.T) {
 	}
 	if intervalPerc <= simtyPerc {
 		t.Fatalf("INTERVAL perceptible delay %v not above SIMTY %v", intervalPerc, simtyPerc)
+	}
+}
+
+func TestRobustnessBuilds(t *testing.T) {
+	tbl, err := Robustness(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("robustness rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][5] != "0" {
+		t.Fatalf("fault-free row reports fault events: %v", tbl.Rows[0])
+	}
+	// Faulted rows must actually inject something, and each faulted
+	// scenario must burn more NATIVE energy than the clean baseline.
+	clean, _ := strconv.ParseFloat(tbl.Rows[0][1], 64)
+	for _, r := range tbl.Rows[1:] {
+		if r[5] == "0" {
+			t.Fatalf("scenario %q injected no faults", r[0])
+		}
+		n, _ := strconv.ParseFloat(r[1], 64)
+		if n <= clean {
+			t.Fatalf("scenario %q costs no energy: NATIVE %v J vs clean %v J", r[0], n, clean)
+		}
 	}
 }

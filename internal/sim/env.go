@@ -1,9 +1,12 @@
 package sim
 
 import (
+	"fmt"
+
 	"repro/internal/alarm"
 	"repro/internal/apps"
 	"repro/internal/device"
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/power"
@@ -28,6 +31,7 @@ type runEnv struct {
 	mgr     *alarm.Manager
 	rt      *apps.Runtime
 	logger  *trace.Logger
+	inj     *fault.Injector
 	recs    []alarm.Record
 	pushes  int
 }
@@ -88,6 +92,37 @@ func newRunEnv(cfg Config, horizon simclock.Duration) (*runEnv, error) {
 
 	env.rt = apps.NewRuntime(env.clock, env.dev, env.mgr, cfg.Beta, simclock.Rand(cfg.Seed+1))
 	env.rt.Jitter = cfg.TaskJitter
+
+	// The fault injector hooks in before the workload installs (clock
+	// skew applies at install time). With no plan, nothing below changes
+	// behaviour: the golden parity tests pin that a nil Faults config
+	// remains byte-identical to the pre-fault implementation.
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		installed := make([]string, 0, len(cfg.Workload))
+		for _, s := range cfg.Workload {
+			installed = append(installed, s.Name)
+		}
+		inj, err := fault.NewInjector(*cfg.Faults, cfg.Seed, env.clock, installed)
+		if err != nil {
+			return nil, err
+		}
+		env.inj = inj
+		env.rt.Faults = inj
+		if env.logger != nil {
+			inj.OnEvent = func(e fault.Event) {
+				env.logger.Fault(e.App, e.Kind+": "+e.Detail)
+			}
+		}
+		// Under an active plan, hardware and device contract violations
+		// become recorded fault events instead of crashing the run.
+		env.dev.SetViolationHandler(func(detail string) {
+			inj.RecordViolation("device", detail)
+		})
+		env.dev.Wakelocks().SetViolationHandler(func(c hw.Component, detail string) {
+			inj.RecordViolation("hw", detail)
+		})
+	}
+
 	if err := env.rt.Install(cfg.Workload); err != nil {
 		return nil, err
 	}
@@ -104,6 +139,17 @@ func newRunEnv(cfg Config, horizon simclock.Duration) (*runEnv, error) {
 
 	env.scheduleScreenSessions(horizon)
 	env.schedulePushes(horizon)
+
+	// Alarm storms register last: they are adversarial load on top of
+	// the legitimate workload, and with no plan this is a no-op.
+	if env.inj != nil {
+		err := env.inj.StartStorms(env.mgr, func(tag string, dur simclock.Duration) {
+			env.dev.RunTaskTagged(tag, 0, dur)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
 	return env, nil
 }
 
@@ -186,6 +232,9 @@ func (e *runEnv) result() *Result {
 		Trace:        e.logger,
 		FinalWakeups: e.dev.Wakeups(),
 		Pushes:       e.pushes,
+	}
+	if e.inj != nil {
+		res.FaultEvents = e.inj.Events()
 	}
 	res.StandbyHours = e.profile.StandbyHours(res.Energy)
 	return res

@@ -8,12 +8,14 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
 	"repro/internal/alarm"
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/power"
@@ -79,6 +81,12 @@ type Config struct {
 	DisableRealign bool
 	// CollectTrace attaches a trace.Logger to the run.
 	CollectTrace bool
+	// Faults, when non-nil, injects the plan's failure modes (wakelock
+	// leaks, alarm storms, task jitter/overruns, clock skew) into the
+	// run. Injection is deterministic per (Seed, plan): repeating a run
+	// reproduces the same misbehaviour event for event. The plan is
+	// never mutated, so one plan value may be shared across a batch.
+	Faults *fault.Plan
 }
 
 // withDefaults fills zero fields.
@@ -96,6 +104,22 @@ func (c Config) withDefaults() Config {
 }
 
 func (c Config) validate() error {
+	// NaN escapes every ordered comparison below (NaN < 0 is false), so
+	// finiteness is its own check: a NaN rate or factor must surface as
+	// a config error, not as undefined Poisson gaps deep inside a run.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"beta", c.Beta},
+		{"push rate", c.PushesPerHour},
+		{"screen-session rate", c.ScreenSessionsPerHour},
+		{"task jitter", c.TaskJitter},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("sim: non-finite %s %v", f.name, f.v)
+		}
+	}
 	switch {
 	case c.Duration <= 0:
 		return fmt.Errorf("sim: non-positive duration %v", c.Duration)
@@ -113,6 +137,15 @@ func (c Config) validate() error {
 		return fmt.Errorf("sim: negative screen-session duration %v", c.ScreenSessionDur)
 	case c.TaskJitter < 0 || c.TaskJitter >= 1:
 		return fmt.Errorf("sim: task jitter %v outside [0,1)", c.TaskJitter)
+	}
+	if c.Faults != nil {
+		installed := make([]string, 0, len(c.Workload))
+		for _, s := range c.Workload {
+			installed = append(installed, s.Name)
+		}
+		if err := c.Faults.Validate(installed); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -165,6 +198,9 @@ type Result struct {
 	FinalWakeups int
 	// Pushes is the number of external (GCM-style) wakeups that arrived.
 	Pushes int
+	// FaultEvents is the deterministic log of injected faults and
+	// absorbed runtime violations (empty when Config.Faults is nil).
+	FaultEvents []fault.Event
 	// Wall is the real (host) time the run took, for harness-scaling
 	// reports. It is the only field that varies between repeats of the
 	// same Config.

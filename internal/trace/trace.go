@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/alarm"
 	"repro/internal/hw"
@@ -30,6 +31,9 @@ const (
 	EventTaskStart
 	// EventTaskEnd is a tagged task releasing its wakelocks.
 	EventTaskEnd
+	// EventFault is an injected fault taking effect (or a runtime
+	// contract violation absorbed under an active fault plan).
+	EventFault
 )
 
 func (k EventKind) String() string {
@@ -44,6 +48,8 @@ func (k EventKind) String() string {
 		return "task-start"
 	case EventTaskEnd:
 		return "task-end"
+	case EventFault:
+		return "fault"
 	}
 	return fmt.Sprintf("EventKind(%d)", uint8(k))
 }
@@ -57,9 +63,12 @@ type Event struct {
 	// Delivery is set for delivery events.
 	Delivery *alarm.Record `json:"delivery,omitempty"`
 	// Tag and Set are set for task events: the wakelock tag (owning app)
-	// and the component set the task holds.
+	// and the component set the task holds. Fault events reuse Tag for
+	// the app the fault is attributed to.
 	Tag string `json:"tag,omitempty"`
 	Set hw.Set `json:"set,omitempty"`
+	// Detail describes a fault event ("<kind>: <description>").
+	Detail string `json:"detail,omitempty"`
 }
 
 // Logger accumulates events. Subscribe it to a wakelock manager
@@ -98,6 +107,12 @@ func (l *Logger) Task(tag string, set hw.Set, start bool) {
 	l.events = append(l.events, Event{At: l.clock.Now(), Kind: kind, Tag: tag, Set: set})
 }
 
+// Fault logs an injected fault (or an absorbed runtime violation)
+// attributed to app; detail should lead with the fault kind.
+func (l *Logger) Fault(app, detail string) {
+	l.events = append(l.events, Event{At: l.clock.Now(), Kind: EventFault, Tag: app, Detail: detail})
+}
+
 // Record logs an alarm delivery.
 func (l *Logger) Record(r alarm.Record) {
 	r2 := r
@@ -132,6 +147,9 @@ func (l *Logger) WriteCSV(w io.Writer) error {
 				int64(e.At), e.Kind, d.AlarmID, d.App, d.HW, d.Session, d.NormalizedDelay())
 		case EventTaskStart, EventTaskEnd:
 			_, err = fmt.Fprintf(w, "%d,%s,,,%s,%s,,\n", int64(e.At), e.Kind, e.Tag, e.Set)
+		case EventFault:
+			_, err = fmt.Fprintf(w, "%d,%s,,%s,%s,,,\n",
+				int64(e.At), e.Kind, strings.ReplaceAll(e.Detail, ",", ";"), e.Tag)
 		default:
 			_, err = fmt.Fprintf(w, "%d,%s,%s,,,,,\n", int64(e.At), e.Kind, e.Component)
 		}

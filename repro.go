@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/alarm"
 	"repro/internal/apps"
+	"repro/internal/fault"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/simclock"
@@ -57,10 +58,25 @@ type (
 	// Profile is a device power model.
 	Profile = power.Profile
 	// RunAllOptions tunes the parallel experiment runner (worker count,
-	// progress callback).
+	// progress callback, aggregate-error mode, per-run timeout, retries).
 	RunAllOptions = sim.RunAllOptions
 	// RunProgress reports one finished run to a progress callback.
 	RunProgress = sim.Progress
+	// PanicError is a panic recovered from a poisoned run, surfaced as
+	// that run's error (stack attached) so the rest of a batch survives.
+	PanicError = sim.PanicError
+	// FaultPlan deterministically injects misbehaviour into a run via
+	// Config.Faults: wakelock leaks, alarm storms, delivery jitter and
+	// task overruns, clock-skewed schedules (see internal/fault).
+	FaultPlan = fault.Plan
+	// FaultLeak makes one app's wakelock leak (held-too-long or
+	// never-released).
+	FaultLeak = fault.Leak
+	// FaultStorm adds a runaway app re-registering a short exact alarm.
+	FaultStorm = fault.Storm
+	// FaultEvent is one recorded injection or absorbed runtime violation
+	// (Result.FaultEvents).
+	FaultEvent = fault.Event
 	// DrainResult is a finished run-to-empty battery discharge.
 	DrainResult = sim.DrainResult
 	// Time is a virtual-time instant in milliseconds.
@@ -76,6 +92,18 @@ const (
 	Minute      = simclock.Minute
 	Hour        = simclock.Hour
 )
+
+// Wakelock-leak modes for FaultLeak.Mode.
+const (
+	// LeakLate holds the wakelock past release (FaultLeak.Extra; 5 min
+	// default).
+	LeakLate = fault.LeakLate
+	// LeakNever never releases the wakelock.
+	LeakNever = fault.LeakNever
+)
+
+// ErrRunTimeout marks a run abandoned after RunAllOptions.RunTimeout.
+var ErrRunTimeout = sim.ErrRunTimeout
 
 // DefaultBeta is the paper's grace factor (0.96).
 const DefaultBeta = sim.DefaultBeta
