@@ -3,9 +3,13 @@
 #   make verify   — the full pre-merge gate: vet, build, race tests,
 #                   a repeated race pass over the parallel-harness
 #                   paths, a short fuzz smoke over the input parsers,
-#                   and a single-shot pass over the queue
-#                   microbenchmarks (smoke, not measurement).
+#                   the per-package coverage floor, and a single-shot
+#                   pass over the queue microbenchmarks (smoke, not
+#                   measurement).
 #   make test     — tier-1 tests only (what CI must keep green).
+#   make cover    — per-package coverage with a floor on the core
+#                   packages (internal/alarm, internal/sim,
+#                   internal/fleet must each stay ≥ $(COVERMIN)%).
 #   make fuzz     — the fuzz targets, longer budget.
 #   make bench    — the queue scaling microbenchmarks, measured.
 #
@@ -14,22 +18,42 @@
 
 GO ?= go
 
-.PHONY: verify test fuzz bench vet build
+.PHONY: verify test cover fuzz bench vet build
 
 # Fuzz budget per target in the verify smoke (Go runs one fuzz target
-# per invocation, hence the two lines).
+# per invocation, hence the per-target lines).
 FUZZTIME ?= 10s
+
+# Coverage floor (percent) for the core packages.
+COVERMIN ?= 70
+COVERPKGS = ./internal/alarm/ ./internal/sim/ ./internal/fleet/
 
 verify: vet build
 	$(GO) test -race ./...
-	$(GO) test -race -count=2 -run 'RunAll|RunTrials|CompareTrials|Sweep|GoldenRecordParity' ./internal/sim/ .
+	$(GO) test -race -count=2 -run 'RunAll|RunTrials|CompareTrials|Sweep|GoldenRecordParity|Fleet' ./internal/sim/ ./internal/fleet/ .
 	$(GO) test ./internal/apps/ -run '^$$' -fuzz '^FuzzSpecJSON$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/alarm/ -run '^$$' -fuzz '^FuzzQueueOps$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/fleet/ -run '^$$' -fuzz '^FuzzFleetSpec$$' -fuzztime $(FUZZTIME)
+	$(MAKE) cover
 	$(GO) test ./internal/alarm/ -run '^$$' -bench 'Queue(Insert|Find|PopDue|Realign)' -benchtime=1x -short -timeout 10m
+
+# cover fails if any core package's statement coverage drops below the
+# floor; the awk exit carries the verdict so the gate works without any
+# extra tooling.
+cover:
+	@for pkg in $(COVERPKGS); do \
+		line=$$($(GO) test -cover $$pkg | tail -1); \
+		echo "$$line"; \
+		echo "$$line" | awk -v min=$(COVERMIN) -v pkg=$$pkg \
+			'{ ok = 0; for (i = 1; i <= NF; i++) if ($$i ~ /^[0-9.]+%$$/) { ok = 1; pct = $$i; sub(/%/, "", pct); \
+			   if (pct + 0 < min) { printf "coverage gate: %s at %s%% is below the %s%% floor\n", pkg, pct, min; exit 1 } } \
+			   if (!ok) { printf "coverage gate: no coverage figure for %s\n", pkg; exit 1 } }' || exit 1; \
+	done
 
 fuzz:
 	$(GO) test ./internal/apps/ -run '^$$' -fuzz '^FuzzSpecJSON$$' -fuzztime 2m
 	$(GO) test ./internal/alarm/ -run '^$$' -fuzz '^FuzzQueueOps$$' -fuzztime 2m
+	$(GO) test ./internal/fleet/ -run '^$$' -fuzz '^FuzzFleetSpec$$' -fuzztime 2m
 
 vet:
 	$(GO) vet ./...

@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	report [-experiment all|table1|table3|fig2|fig3|fig4|table4|bounds|ablations]
+//	report [-experiment all|table1|table3|fig2|fig3|fig4|table4|bounds|ablations|fleet]
 //	       [-trials 3] [-seed 1] [-hours 3] [-format text|markdown|csv]
-//	       [-workers 0] [-progress]
+//	       [-workers 0] [-devices 10000] [-progress]
 //
 // Each experiment is run -trials times with consecutive seeds (the paper
 // averages three runs) and the mean is reported. Independent runs fan
@@ -30,16 +30,18 @@ var (
 	hours      = flag.Float64("hours", 3, "connected-standby horizon in hours")
 	format     = flag.String("format", "text", "output format: text, markdown, or csv")
 	workers    = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	devices    = flag.Int("devices", 0, "fleet experiment population size (0 = 10000)")
 	progress   = flag.Bool("progress", false, "print per-run completions to stderr")
 )
 
 func main() {
 	flag.Parse()
 	opts := report.Options{
-		Trials:   *trials,
-		Seed:     *seed,
-		Duration: simclock.Duration(*hours * float64(simclock.Hour)),
-		Workers:  *workers,
+		Trials:       *trials,
+		Seed:         *seed,
+		Duration:     simclock.Duration(*hours * float64(simclock.Hour)),
+		Workers:      *workers,
+		FleetDevices: *devices,
 	}
 	if *progress {
 		opts.Progress = func(p sim.Progress) {

@@ -9,6 +9,19 @@
 //	        [-leak apps] [-leaknever apps] [-storm app:period_s[:count]]
 //	        [-trace out.csv] [-json out.json] [-timeline MIN] [-anomaly]
 //	        [-toempty] [-v]
+//	wakesim -fleet N [-fleetspec file.json] [-workers 0] [-json agg.json]
+//	        [-policy SIMTY] [-hours 3] [-beta 0.96] [-seed 0]
+//
+// Fleet mode (-fleet and/or -fleetspec) simulates a population of
+// heterogeneous devices instead of one: -fleetspec loads a fleet.Spec
+// JSON describing the sampling distributions (-fleet overrides its
+// device count), every device runs under the spec's base and test
+// policies on a worker pool, and the results stream into memory-bounded
+// aggregates. -json then writes the deterministic JSON aggregate, which
+// is byte-identical across -workers values for a fixed spec. The
+// single-run flags that name one concrete device or export one trace
+// (-workload, -spec, -toempty, -trace, -timeline, -anomaly, the fault
+// flags, -pushes, -screens, -oneshots) conflict with fleet mode.
 //
 // The trace-export flags (-trace, -json, -timeline, -anomaly) work in
 // both fixed-horizon and -toempty mode; a run-to-empty trace covers the
@@ -24,6 +37,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +51,7 @@ import (
 	"repro/internal/anomaly"
 	"repro/internal/apps"
 	"repro/internal/fault"
+	"repro/internal/fleet"
 	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -47,6 +63,11 @@ import (
 // package-level pointers) lets the tests parse and validate arbitrary
 // argument lists without touching global state.
 type options struct {
+	// explicitSet records which flags the user actually passed (captured
+	// by validate); fleet mode applies -seed/-hours/-beta/-policy on top
+	// of the spec file only when they were set explicitly.
+	explicitSet map[string]bool
+
 	policy    string
 	workload  string
 	specFile  string
@@ -66,6 +87,9 @@ type options struct {
 	toEmpty   bool
 	timeline  int
 	verbose   bool
+	fleet     int
+	fleetSpec string
+	workers   int
 }
 
 // registerFlags binds the options to a FlagSet with their defaults.
@@ -85,13 +109,19 @@ func registerFlags(fs *flag.FlagSet) *options {
 	fs.StringVar(&o.leakNever, "leaknever", "", "comma-separated apps whose wakelock is never released")
 	fs.StringVar(&o.storm, "storm", "", "alarm storm spec app:period_s[:count], e.g. rogue:5")
 	fs.StringVar(&o.traceCSV, "trace", "", "write the event trace as CSV to this file")
-	fs.StringVar(&o.traceJSON, "json", "", "write the event trace as JSON to this file")
+	fs.StringVar(&o.traceJSON, "json", "", "write the event trace (or, in fleet mode, the aggregate) as JSON to this file")
 	fs.BoolVar(&o.detect, "anomaly", false, "scan the run for no-sleep energy bugs")
 	fs.BoolVar(&o.toEmpty, "toempty", false, "simulate from full battery until empty (measures standby time directly)")
 	fs.IntVar(&o.timeline, "timeline", 0, "render the first N minutes as an ASCII timeline")
 	fs.BoolVar(&o.verbose, "v", false, "print per-app delivery counts")
+	fs.IntVar(&o.fleet, "fleet", 0, "simulate a fleet of N heterogeneous devices instead of one run")
+	fs.StringVar(&o.fleetSpec, "fleetspec", "", "load the fleet population spec from a JSON file (see internal/fleet)")
+	fs.IntVar(&o.workers, "workers", 0, "fleet worker pool size (0 = GOMAXPROCS)")
 	return o
 }
+
+// fleetMode reports whether the options describe a fleet run.
+func (o *options) fleetMode() bool { return o.fleet > 0 || o.fleetSpec != "" }
 
 // validate checks every flag value and combination before anything
 // runs. explicit holds the flags the user actually set (flag.Visit), so
@@ -99,6 +129,25 @@ func registerFlags(fs *flag.FlagSet) *options {
 func (o *options) validate(explicit map[string]bool) error {
 	if _, err := sim.PolicyByName(o.policy); err != nil {
 		return err
+	}
+	if o.fleet < 0 {
+		return fmt.Errorf("-fleet %d: want a positive device count", o.fleet)
+	}
+	if o.workers < 0 {
+		return fmt.Errorf("-workers %d: want a non-negative worker count", o.workers)
+	}
+	o.explicitSet = explicit
+	if o.fleetMode() {
+		// Fleet mode samples its own per-device workloads, rates, and
+		// faults; flags that configure one concrete run conflict with it.
+		for _, f := range []string{"workload", "spec", "toempty", "trace", "timeline",
+			"anomaly", "leak", "leaknever", "storm", "pushes", "screens", "oneshots", "system", "v"} {
+			if explicit[f] {
+				return fmt.Errorf("-%s does not apply to a fleet run: the fleet spec describes the population", f)
+			}
+		}
+	} else if explicit["workers"] {
+		return fmt.Errorf("-workers only applies to fleet mode (-fleet / -fleetspec)")
 	}
 	if o.specFile != "" && explicit["workload"] {
 		return fmt.Errorf("-spec and -workload are mutually exclusive: the spec file is the workload")
@@ -258,6 +307,9 @@ func fail(err error) {
 // report to w. Every failure comes back as an error for main's one-line
 // exit path.
 func (o *options) run(w io.Writer) error {
+	if o.fleetMode() {
+		return o.runFleet(w)
+	}
 	specs, name, err := o.loadWorkload()
 	if err != nil {
 		return err
@@ -327,6 +379,77 @@ func (o *options) run(w io.Writer) error {
 	}
 
 	return o.exportArtifacts(w, r.Trace, simclock.Time(r.Config.Duration))
+}
+
+// runFleet executes a fleet-mode run: load/assemble the population
+// spec, stream the fleet through the aggregator, print the headline
+// distributions, and optionally write the deterministic JSON aggregate.
+func (o *options) runFleet(w io.Writer) error {
+	var spec fleet.Spec
+	if o.fleetSpec != "" {
+		f, err := os.Open(o.fleetSpec)
+		if err != nil {
+			return err
+		}
+		spec, err = fleet.ReadSpec(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	if o.fleet > 0 {
+		spec.Devices = o.fleet
+	}
+	if o.explicitSet["seed"] {
+		spec.Seed = o.seed
+	}
+	if o.explicitSet["hours"] {
+		spec.Hours = o.hours
+	}
+	if o.explicitSet["beta"] {
+		spec.Beta = o.beta
+	}
+	if o.explicitSet["policy"] {
+		spec.TestPolicy = o.policy
+	}
+
+	r, err := fleet.Run(context.Background(), spec, fleet.Options{Workers: o.workers})
+	if err != nil {
+		return err
+	}
+	s := r.Agg.Summary()
+	fmt.Fprintf(w, "fleet: %d devices, %s vs %s, %.1f h horizon, seed %d (%.1fs wall)\n",
+		s.Devices, s.BasePolicy, s.TestPolicy, s.Hours, s.Seed, r.Wall.Seconds())
+	pct := func(name string, d fleet.Dist) {
+		fmt.Fprintf(w, "%s: mean %.1f%% ± %.1f (CI95), P50 %.1f%%, P95 %.1f%%, range [%.1f%%, %.1f%%]\n",
+			name, 100*d.Mean, 100*d.CI95, 100*d.P50, 100*d.P95, 100*d.Min, 100*d.Max)
+	}
+	pct("total savings", s.Savings.Total)
+	pct("awake savings", s.Savings.Awake)
+	pct("standby extension", s.Savings.StandbyExtension)
+	pct("wakeup reduction", s.Savings.WakeupReduction)
+	fmt.Fprintf(w, "wakeups: %s mean %.0f, %s mean %.0f (P95 %.0f)\n",
+		s.BasePolicy, s.Base.Wakeups.Mean, s.TestPolicy, s.Test.Wakeups.Mean, s.Test.Wakeups.P95)
+	fmt.Fprintf(w, "%s guarantees: %d perceptible past window, %d past grace\n",
+		s.TestPolicy, s.Test.PerceptibleLate, s.Test.GraceLate)
+	if s.LeakyDevices > 0 {
+		fmt.Fprintf(w, "injected wakelock leaks on %d device(s)\n", s.LeakyDevices)
+	}
+
+	if o.traceJSON != "" {
+		blob, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := writeFile(o.traceJSON, func(f *os.File) error {
+			_, err := f.Write(append(blob, '\n'))
+			return err
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "aggregate written to %s\n", o.traceJSON)
+	}
+	return nil
 }
 
 // exportArtifacts renders the timeline, anomaly scan, and trace exports

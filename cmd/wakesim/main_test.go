@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -45,7 +48,24 @@ func TestValidateFlagCombinations(t *testing.T) {
 		{"fault flags", []string{"-leak", "Viber,Weibo", "-leaknever", "Line", "-storm", "rogue:5"}, ""},
 		{"storm with count", []string{"-storm", "rogue:0.5:100"}, ""},
 
+		{"fleet alone", []string{"-fleet", "100"}, ""},
+		{"fleet with overrides", []string{"-fleet", "50", "-seed", "9", "-hours", "0.5", "-beta", "0.9", "-policy", "SIMTY-DUR", "-workers", "4", "-json", "agg.json"}, ""},
+		{"fleetspec alone", []string{"-fleetspec", "pop.json"}, ""},
+
 		{"unknown policy", []string{"-policy", "BOGUS"}, "unknown policy"},
+		{"negative fleet", []string{"-fleet", "-5"}, "-fleet"},
+		{"negative workers", []string{"-fleet", "10", "-workers", "-1"}, "-workers"},
+		{"workers without fleet", []string{"-workers", "4"}, "-workers"},
+		{"fleet with workload", []string{"-fleet", "10", "-workload", "light"}, "-workload"},
+		{"fleet with spec", []string{"-fleet", "10", "-spec", "w.json"}, "-spec"},
+		{"fleet with toempty", []string{"-fleet", "10", "-toempty"}, "-toempty"},
+		{"fleet with trace", []string{"-fleet", "10", "-trace", "t.csv"}, "-trace"},
+		{"fleet with timeline", []string{"-fleet", "10", "-timeline", "5"}, "-timeline"},
+		{"fleet with anomaly", []string{"-fleet", "10", "-anomaly"}, "-anomaly"},
+		{"fleet with leak", []string{"-fleet", "10", "-leak", "Viber"}, "-leak"},
+		{"fleet with storm", []string{"-fleet", "10", "-storm", "rogue:5"}, "-storm"},
+		{"fleet with pushes", []string{"-fleet", "10", "-pushes", "2"}, "-pushes"},
+		{"fleet with oneshots", []string{"-fleet", "10", "-oneshots", "3"}, "-oneshots"},
 		{"unknown workload", []string{"-workload", "gigantic"}, "unknown workload"},
 		{"spec and workload", []string{"-spec", "w.json", "-workload", "light"}, "mutually exclusive"},
 		{"zero hours", []string{"-hours", "0"}, "-hours"},
@@ -137,5 +157,64 @@ func TestRunEndToEnd(t *testing.T) {
 	o, _ = parse(t, "-workload", "light", "-hours", "0.5", "-leak", "NoSuchApp")
 	if err := o.run(io.Discard); err == nil || !strings.Contains(err.Error(), "NoSuchApp") {
 		t.Fatalf("leak target outside the workload accepted: %v", err)
+	}
+}
+
+// TestRunFleetEndToEnd drives fleet mode: a spec file plus command-line
+// overrides, the text summary, and the JSON aggregate export.
+func TestRunFleetEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "pop.json")
+	if err := os.WriteFile(specPath, []byte(`{
+		"devices": 200, "seed": 4, "hours": 2,
+		"apps": {"min": 1, "max": 4}, "leak_fraction": 0.3
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	aggPath := filepath.Join(dir, "agg.json")
+
+	o, explicit := parse(t, "-fleetspec", specPath, "-fleet", "20", "-hours", "0.5",
+		"-seed", "11", "-policy", "SIMTY-DUR", "-json", aggPath)
+	if err := o.validate(explicit); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := o.run(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"fleet: 20 devices, NATIVE vs SIMTY-DUR, 0.5 h horizon, seed 11",
+		"total savings:",
+		"wakeup reduction:",
+		"injected wakelock leaks on",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("fleet summary missing %q:\n%s", want, s)
+		}
+	}
+
+	blob, err := os.ReadFile(aggPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var summary struct {
+		Devices int     `json:"devices"`
+		Seed    int64   `json:"seed"`
+		Hours   float64 `json:"hours"`
+	}
+	if err := json.Unmarshal(blob, &summary); err != nil {
+		t.Fatalf("aggregate is not valid JSON: %v", err)
+	}
+	if summary.Devices != 20 || summary.Seed != 11 || summary.Hours != 0.5 {
+		t.Errorf("aggregate overrides not applied: %+v", summary)
+	}
+
+	o, explicit = parse(t, "-fleetspec", filepath.Join(dir, "missing.json"))
+	if err := o.validate(explicit); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.run(io.Discard); err == nil {
+		t.Fatal("missing fleet spec file accepted")
 	}
 }

@@ -1,0 +1,209 @@
+package fleet
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Dist is the JSON snapshot of one metric's distribution across the
+// fleet: Welford moments plus P² quantile estimates. At fleet scale the
+// per-device values are never retained, so P50/P95/P99 are streaming
+// estimates (exact for populations of five or fewer).
+type Dist struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	CI95 float64 `json:"ci95"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+}
+
+// acc is the streaming accumulator behind one Dist: O(1) space per
+// metric regardless of fleet size.
+type acc struct {
+	w             stats.Welford
+	p50, p95, p99 stats.P2Quantile
+}
+
+func newAcc() *acc {
+	return &acc{
+		p50: stats.NewP2Quantile(0.50),
+		p95: stats.NewP2Quantile(0.95),
+		p99: stats.NewP2Quantile(0.99),
+	}
+}
+
+func (a *acc) add(x float64) {
+	a.w.Add(x)
+	a.p50.Add(x)
+	a.p95.Add(x)
+	a.p99.Add(x)
+}
+
+func (a *acc) dist() Dist {
+	return Dist{
+		N:    a.w.N(),
+		Mean: a.w.Mean(),
+		Std:  a.w.Std(),
+		CI95: a.w.CI95(),
+		Min:  a.w.Min(),
+		Max:  a.w.Max(),
+		P50:  a.p50.Value(),
+		P95:  a.p95.Value(),
+		P99:  a.p99.Value(),
+	}
+}
+
+// PolicySummary is the JSON snapshot of one policy's behaviour across
+// the fleet.
+type PolicySummary struct {
+	EnergyMJ     Dist `json:"energy_mj"`
+	StandbyHours Dist `json:"standby_h"`
+	Wakeups      Dist `json:"wakeups"`
+	// ImperceptibleDelay is the distribution of per-device mean
+	// normalized imperceptible delays (app alarms only, Figure 4's
+	// population).
+	ImperceptibleDelay Dist `json:"imperceptible_delay"`
+	// PerceptibleLate counts perceptible deliveries past their window
+	// end across the whole fleet — the paper's headline guarantee says
+	// this must be 0 for SIMTY and NATIVE.
+	PerceptibleLate int `json:"perceptible_late"`
+	// GraceLate counts wakeup deliveries past their grace end.
+	GraceLate int `json:"grace_late"`
+	// MaxPerceptibleDelay is the largest normalized perceptible delay
+	// observed anywhere in the fleet.
+	MaxPerceptibleDelay float64 `json:"max_perceptible_delay"`
+}
+
+// SavingsSummary is the JSON snapshot of the per-device base-vs-test
+// comparison distributions (fractions, not percent).
+type SavingsSummary struct {
+	Total            Dist `json:"total"`
+	Awake            Dist `json:"awake"`
+	StandbyExtension Dist `json:"standby_extension"`
+	WakeupReduction  Dist `json:"wakeup_reduction"`
+}
+
+// Summary is the full deterministic JSON aggregate of a fleet run. It
+// deliberately excludes wall-clock time and anything else that varies
+// between repeats: marshalling a Summary is byte-identical for a fixed
+// Spec across worker counts and shard sizes.
+type Summary struct {
+	Devices    int            `json:"devices"`
+	Seed       int64          `json:"seed"`
+	Hours      float64        `json:"hours"`
+	BasePolicy string         `json:"base_policy"`
+	TestPolicy string         `json:"test_policy"`
+	Base       PolicySummary  `json:"base"`
+	Test       PolicySummary  `json:"test"`
+	Savings    SavingsSummary `json:"savings"`
+	// LeakyDevices counts devices that carried an injected wakelock
+	// leak.
+	LeakyDevices int `json:"leaky_devices,omitempty"`
+}
+
+// policyAcc accumulates one policy's metrics.
+type policyAcc struct {
+	energy, standby, wakeups, imperc *acc
+	perceptibleLate, graceLate       int
+	maxPerceptibleDelay              float64
+}
+
+func newPolicyAcc() *policyAcc {
+	return &policyAcc{energy: newAcc(), standby: newAcc(), wakeups: newAcc(), imperc: newAcc()}
+}
+
+// observe folds one finished run into the policy's accumulators. The
+// guarantee counters scan the run's Records here, before the caller
+// releases them — records never survive past the shard that produced
+// them.
+func (p *policyAcc) observe(r *sim.Result) {
+	p.energy.add(r.Energy.TotalMJ())
+	p.standby.add(r.StandbyHours)
+	p.wakeups.add(float64(r.FinalWakeups))
+	p.imperc.add(r.Delays.ImperceptibleMean)
+	for _, rec := range r.Records {
+		if rec.Perceptible {
+			if rec.Delivered > rec.WindowEnd {
+				p.perceptibleLate++
+			}
+			if d := rec.NormalizedDelay(); d > p.maxPerceptibleDelay {
+				p.maxPerceptibleDelay = d
+			}
+		} else if rec.Delivered > rec.GraceEnd {
+			p.graceLate++
+		}
+	}
+}
+
+func (p *policyAcc) summary() PolicySummary {
+	return PolicySummary{
+		EnergyMJ:            p.energy.dist(),
+		StandbyHours:        p.standby.dist(),
+		Wakeups:             p.wakeups.dist(),
+		ImperceptibleDelay:  p.imperc.dist(),
+		PerceptibleLate:     p.perceptibleLate,
+		GraceLate:           p.graceLate,
+		MaxPerceptibleDelay: p.maxPerceptibleDelay,
+	}
+}
+
+// Aggregate is the streaming fleet aggregate: O(1) space in the number
+// of devices. Devices must be folded in index order (the runner
+// guarantees this) for the byte-identical-JSON contract to hold.
+type Aggregate struct {
+	spec                          Spec
+	devices, leaky                int
+	base, test                    *policyAcc
+	total, awake, standby, wakeup *acc
+}
+
+func newAggregate(spec Spec) *Aggregate {
+	return &Aggregate{
+		spec: spec,
+		base: newPolicyAcc(), test: newPolicyAcc(),
+		total: newAcc(), awake: newAcc(), standby: newAcc(), wakeup: newAcc(),
+	}
+}
+
+// observe folds one device's base/test run pair into the aggregate.
+func (a *Aggregate) observe(d Device, base, test *sim.Result) {
+	a.devices++
+	if d.LeakApp != "" {
+		a.leaky++
+	}
+	a.base.observe(base)
+	a.test.observe(test)
+	cmp := sim.Comparison{Base: base, Test: test}
+	a.total.add(cmp.TotalSavings())
+	a.awake.add(cmp.AwakeSavings())
+	a.standby.add(cmp.StandbyExtension())
+	a.wakeup.add(cmp.WakeupReduction())
+}
+
+// Devices reports how many devices have been folded in.
+func (a *Aggregate) Devices() int { return a.devices }
+
+// Summary snapshots the aggregate into its deterministic JSON form.
+func (a *Aggregate) Summary() Summary {
+	s := a.spec.withDefaults()
+	return Summary{
+		Devices:    a.devices,
+		Seed:       s.Seed,
+		Hours:      s.Hours,
+		BasePolicy: s.BasePolicy,
+		TestPolicy: s.TestPolicy,
+		Base:       a.base.summary(),
+		Test:       a.test.summary(),
+		Savings: SavingsSummary{
+			Total:            a.total.dist(),
+			Awake:            a.awake.dist(),
+			StandbyExtension: a.standby.dist(),
+			WakeupReduction:  a.wakeup.dist(),
+		},
+		LeakyDevices: a.leaky,
+	}
+}

@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Options tune a fleet run. The zero value uses GOMAXPROCS workers and
+// the default shard size.
+type Options struct {
+	// Workers bounds the sim.RunAll pool; ≤ 0 means GOMAXPROCS. The
+	// aggregate is byte-identical for any value.
+	Workers int
+	// ShardSize is how many devices are in flight per RunAll batch;
+	// ≤ 0 means DefaultShardSize. It bounds peak memory: per-run
+	// Records live only until their shard is folded into the aggregate.
+	ShardSize int
+	// Progress, when non-nil, is called after each device's pair of
+	// runs is folded, with the number of devices done so far and the
+	// fleet size. Calls arrive in device order from a single goroutine.
+	Progress func(done, total int)
+}
+
+// DefaultShardSize bounds in-flight devices per batch. At two runs per
+// device and ~1–2k delivery records per 3 h run, a shard peaks in the
+// tens of megabytes regardless of fleet size.
+const DefaultShardSize = 64
+
+// Result is a finished fleet run.
+type Result struct {
+	// Spec is the population description the fleet was sampled from
+	// (defaults applied).
+	Spec Spec
+	// Agg holds the streaming aggregates; Agg.Summary() is the
+	// deterministic JSON form.
+	Agg *Aggregate
+	// Wall is the real time the whole fleet took. It is reported
+	// separately from the Summary precisely because it is the one
+	// quantity that may differ between byte-identical runs.
+	Wall time.Duration
+}
+
+// Run samples spec.Devices device configurations, executes each under
+// the base and test policies on the sim.RunAll worker pool, and streams
+// the results into online aggregates. Memory is bounded by the shard
+// size, not the fleet size: no Records, traces, or Results are retained
+// past the shard that produced them.
+//
+// Determinism: device sampling is a pure function of (Spec, index) and
+// results are folded in device order, so Run's Summary is byte-identical
+// across worker counts and shard sizes for a fixed Spec. Cancelling ctx
+// aborts the fleet with ctx's error.
+func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	shard := opts.ShardSize
+	if shard <= 0 {
+		shard = DefaultShardSize
+	}
+
+	start := time.Now()
+	agg := newAggregate(spec)
+	runOpts := sim.RunAllOptions{Workers: opts.Workers}
+	devices := make([]Device, 0, shard)
+	cfgs := make([]sim.Config, 0, 2*shard)
+	for lo := 0; lo < spec.Devices; lo += shard {
+		hi := lo + shard
+		if hi > spec.Devices {
+			hi = spec.Devices
+		}
+		devices, cfgs = devices[:0], cfgs[:0]
+		for i := lo; i < hi; i++ {
+			d := spec.SampleDevice(i)
+			devices = append(devices, d)
+			cfgs = append(cfgs, spec.Config(d, spec.BasePolicy), spec.Config(d, spec.TestPolicy))
+		}
+		rs, err := sim.RunAll(ctx, cfgs, runOpts)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: devices %d–%d: %w", lo, hi-1, err)
+		}
+		// Fold in device order and drop the results as we go — rs is
+		// the only reference keeping each run's Records alive.
+		for k, d := range devices {
+			agg.observe(d, rs[2*k], rs[2*k+1])
+			rs[2*k], rs[2*k+1] = nil, nil
+			if opts.Progress != nil {
+				opts.Progress(agg.Devices(), spec.Devices)
+			}
+		}
+	}
+	return &Result{Spec: spec, Agg: agg, Wall: time.Since(start)}, nil
+}

@@ -65,10 +65,11 @@ type Row struct {
 	Expected int
 }
 
-// Ratio is Wakeups/Expected; 0 when nothing was expected. Smaller means
-// more effective alignment.
+// Ratio is Wakeups/Expected; 0 when nothing was expected (or when a
+// hand-built row carries a nonsensical negative expectation). Smaller
+// means more effective alignment.
 func (r Row) Ratio() float64 {
-	if r.Expected == 0 {
+	if r.Expected <= 0 {
 		return 0
 	}
 	return float64(r.Wakeups) / float64(r.Expected)

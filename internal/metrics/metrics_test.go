@@ -195,3 +195,29 @@ func TestWakeupGaps(t *testing.T) {
 		t.Fatalf("empty gaps = %+v", got)
 	}
 }
+
+// TestRowRatioTotal: Ratio must be defined (and finite) for every row a
+// caller can construct, including the zero row and hand-built rows with
+// nonsensical negative expectations.
+func TestRowRatioTotal(t *testing.T) {
+	cases := []struct {
+		name string
+		row  Row
+		want float64
+	}{
+		{"zero row", Row{}, 0},
+		{"nothing expected", Row{Wakeups: 5, Expected: 0}, 0},
+		{"negative expected", Row{Wakeups: 5, Expected: -3}, 0},
+		{"aligned", Row{Wakeups: 50, Expected: 100}, 0.5},
+		{"no alignment", Row{Wakeups: 100, Expected: 100}, 1},
+		{"zero wakeups", Row{Wakeups: 0, Expected: 10}, 0},
+	}
+	for _, c := range cases {
+		if got := c.row.Ratio(); got != c.want {
+			t.Errorf("%s: Ratio() = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if s := (Row{Wakeups: 3, Expected: 7}).String(); s != "3/7" {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -23,6 +23,9 @@ type Options struct {
 	Duration simclock.Duration
 	// Workers bounds the parallel runner's pool; ≤ 0 means GOMAXPROCS.
 	Workers int
+	// FleetDevices is the population size for the fleet experiment; zero
+	// means 10,000.
+	FleetDevices int
 	// Progress, when non-nil, receives one callback per finished run
 	// (forwarded to the parallel runner).
 	Progress func(sim.Progress)
@@ -42,6 +45,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.FleetDevices <= 0 {
+		o.FleetDevices = 10_000
 	}
 	return o
 }
@@ -81,6 +87,7 @@ func All() []Experiment {
 		{"drain", "measured full-battery standby time per policy (extension 1/4–1/3)", Drain},
 		{"scaling", "standby vs number of resident apps (§1's motivation)", Scaling},
 		{"robustness", "savings under injected wakelock leaks and alarm storms", Robustness},
+		{"fleet", "savings distribution across 10k heterogeneous devices (streaming aggregates)", Fleet},
 	}
 }
 

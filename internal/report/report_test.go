@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/sim"
 	"repro/internal/simclock"
 )
 
@@ -69,7 +70,7 @@ func TestCSVQuoting(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 11 {
+	if len(all) != 12 {
 		t.Fatalf("experiments = %d", len(all))
 	}
 	seen := map[string]bool{}
@@ -281,6 +282,39 @@ func TestAblationsBuilds(t *testing.T) {
 	}
 	if intervalPerc <= simtyPerc {
 		t.Fatalf("INTERVAL perceptible delay %v not above SIMTY %v", intervalPerc, simtyPerc)
+	}
+}
+
+func TestFleetBuilds(t *testing.T) {
+	o := fastOpts()
+	o.FleetDevices = 150
+	var calls int
+	o.Progress = func(sim.Progress) { calls++ }
+	tbl, err := Fleet(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 9 {
+		t.Fatalf("fleet rows = %d", len(tbl.Rows))
+	}
+	if !strings.Contains(tbl.Title, "150") {
+		t.Fatalf("title does not name the population: %q", tbl.Title)
+	}
+	savings, _ := strconv.ParseFloat(tbl.Rows[0][1], 64)
+	if savings <= 0 {
+		t.Fatalf("mean total savings = %v%%, want positive", savings)
+	}
+	// NATIVE wakeups (row 4) must exceed SIMTY's (row 5) on average.
+	nat, _ := strconv.ParseFloat(tbl.Rows[4][1], 64)
+	sty, _ := strconv.ParseFloat(tbl.Rows[5][1], 64)
+	if sty >= nat {
+		t.Fatalf("SIMTY mean wakeups %v not below NATIVE %v", sty, nat)
+	}
+	if calls == 0 {
+		t.Fatal("progress callback never invoked")
+	}
+	if len(tbl.Notes) != 2 {
+		t.Fatalf("fleet notes = %d", len(tbl.Notes))
 	}
 }
 

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/power"
+)
+
+// resultWith builds a minimal Result for ratio-helper tests.
+func resultWith(totalMJ, awakeMJ, standby float64, wakeups int) *Result {
+	var b power.Breakdown
+	b.SleepMJ = totalMJ - awakeMJ
+	b.AwakeBaseMJ = awakeMJ
+	return &Result{Energy: b, StandbyHours: standby, FinalWakeups: wakeups}
+}
+
+// TestComparisonRatioHelpersTotal: every Comparison helper must return a
+// defined, finite value for nil runs (aggregate-mode batches leave nil
+// slots) and zero denominators — the degenerate pairs fleet aggregation
+// folds by the thousand.
+func TestComparisonRatioHelpersTotal(t *testing.T) {
+	full := resultWith(1000, 400, 100, 50)
+	zero := resultWith(0, 0, 0, 0)
+	cases := []struct {
+		name string
+		cmp  Comparison
+		want float64 // expected from every helper
+	}{
+		{"both nil", Comparison{}, 0},
+		{"nil base", Comparison{Test: full}, 0},
+		{"nil test", Comparison{Base: full}, 0},
+		{"zero base denominators", Comparison{Base: zero, Test: full}, 0},
+	}
+	for _, c := range cases {
+		helpers := []struct {
+			name string
+			f    func() float64
+		}{
+			{"TotalSavings", c.cmp.TotalSavings},
+			{"AwakeSavings", c.cmp.AwakeSavings},
+			{"StandbyExtension", c.cmp.StandbyExtension},
+			{"WakeupReduction", c.cmp.WakeupReduction},
+		}
+		for _, h := range helpers {
+			got := h.f()
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Errorf("%s/%s = %v, want finite", c.name, h.name, got)
+			}
+			if got != c.want {
+				t.Errorf("%s/%s = %v, want %v", c.name, h.name, got, c.want)
+			}
+		}
+	}
+
+	// A well-formed pair still computes the real ratios.
+	cmp := Comparison{Base: resultWith(1000, 600, 100, 50), Test: resultWith(750, 300, 125, 25)}
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"TotalSavings", cmp.TotalSavings(), 0.25},
+		{"AwakeSavings", cmp.AwakeSavings(), 0.5},
+		{"StandbyExtension", cmp.StandbyExtension(), 0.25},
+		{"WakeupReduction", cmp.WakeupReduction(), 0.5},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestPolicyByNameErrorPaths: every published name resolves (case-
+// insensitively), and unknown names come back as errors naming the
+// input, not panics or nil policies.
+func TestPolicyByNameErrorPaths(t *testing.T) {
+	for _, name := range PolicyNames() {
+		for _, variant := range []string{name, strings.ToLower(name), strings.ToUpper(name)} {
+			p, err := PolicyByName(variant)
+			if err != nil || p == nil {
+				t.Errorf("PolicyByName(%q) = %v, %v", variant, p, err)
+			}
+		}
+	}
+	for _, bad := range []string{"", "simty2", "NATIVE ", "doze-lite", "§"} {
+		p, err := PolicyByName(bad)
+		if err == nil || p != nil {
+			t.Errorf("PolicyByName(%q) = %v, %v; want error", bad, p, err)
+		}
+		if err != nil && !strings.Contains(err.Error(), "unknown policy") {
+			t.Errorf("PolicyByName(%q) error %q does not name the failure", bad, err)
+		}
+	}
+}

@@ -222,13 +222,24 @@ func Run(cfg Config) (*Result, error) {
 
 // Comparison pairs a baseline run (typically NATIVE) with a candidate
 // run (typically SIMTY) over the same workload and seed.
+//
+// Every ratio helper is total: a missing run (nil slot from an
+// aggregate-mode batch) or a zero denominator yields 0, never a panic
+// or NaN — fleet aggregation folds thousands of comparisons and one
+// degenerate pair must not poison the stream.
 type Comparison struct {
 	Base, Test *Result
 }
 
+// complete reports whether both runs are present.
+func (c Comparison) complete() bool { return c.Base != nil && c.Test != nil }
+
 // TotalSavings is 1 − test/base of total standby energy (the paper's
 // Figure 3 headline: 20% light, 25% heavy).
 func (c Comparison) TotalSavings() float64 {
+	if !c.complete() {
+		return 0
+	}
 	if b := c.Base.Energy.TotalMJ(); b > 0 {
 		return 1 - c.Test.Energy.TotalMJ()/b
 	}
@@ -238,6 +249,9 @@ func (c Comparison) TotalSavings() float64 {
 // AwakeSavings is 1 − test/base of awake-attributable energy (the paper:
 // >33% for both workloads).
 func (c Comparison) AwakeSavings() float64 {
+	if !c.complete() {
+		return 0
+	}
 	if b := c.Base.Energy.AwakeMJ(); b > 0 {
 		return 1 - c.Test.Energy.AwakeMJ()/b
 	}
@@ -247,6 +261,9 @@ func (c Comparison) AwakeSavings() float64 {
 // StandbyExtension is test/base − 1 of projected standby time (the
 // paper: one-fourth to one-third).
 func (c Comparison) StandbyExtension() float64 {
+	if !c.complete() {
+		return 0
+	}
 	if c.Base.StandbyHours > 0 {
 		return c.Test.StandbyHours/c.Base.StandbyHours - 1
 	}
@@ -255,6 +272,9 @@ func (c Comparison) StandbyExtension() float64 {
 
 // WakeupReduction is 1 − test/base of total device wakeups.
 func (c Comparison) WakeupReduction() float64 {
+	if !c.complete() {
+		return 0
+	}
 	if c.Base.FinalWakeups > 0 {
 		return 1 - float64(c.Test.FinalWakeups)/float64(c.Base.FinalWakeups)
 	}

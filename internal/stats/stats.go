@@ -1,7 +1,9 @@
 // Package stats provides the small statistical toolkit the evaluation
 // needs: means, standard deviations, confidence half-widths for the
-// three-trial averages the paper reports, and simple aggregation over
-// repeated simulation runs.
+// three-trial averages the paper reports, simple aggregation over
+// repeated simulation runs, and memory-bounded streaming estimators
+// (Welford mean/variance, P² quantiles) for fleet-scale populations
+// where per-run values cannot be retained.
 package stats
 
 import (
@@ -88,18 +90,25 @@ var t95 = []float64{
 	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
 }
 
+// critT95 returns the two-sided 95% critical value for a mean estimated
+// from n observations (Student-t for small n, normal beyond df 30).
+func critT95(n int) float64 {
+	if df := n - 1; df >= 1 && df <= len(t95) {
+		return t95[df-1]
+	}
+	return 1.96
+}
+
 // CI95 returns the half-width of the 95% confidence interval of the mean
-// (Student-t), or 0 for fewer than two values.
+// (Student-t), or 0 for fewer than two values. Like every batch function
+// in this package, it is total: empty and single-element inputs yield a
+// defined 0, never NaN.
 func CI95(xs []float64) float64 {
 	n := len(xs)
 	if n < 2 {
 		return 0
 	}
-	crit := 1.96
-	if df := n - 1; df <= len(t95) {
-		crit = t95[df-1]
-	}
-	return crit * StdDev(xs) / math.Sqrt(float64(n))
+	return critT95(n) * StdDev(xs) / math.Sqrt(float64(n))
 }
 
 // Summary bundles the statistics of one metric across trials.
@@ -112,7 +121,10 @@ type Summary struct {
 	CI95 float64
 }
 
-// Summarize computes a Summary of the values.
+// Summarize computes a Summary of the values. It is total on degenerate
+// inputs: an empty slice summarizes to the zero Summary and a single
+// element to {N: 1, Mean: x, Min: x, Max: x} with zero spread — callers
+// formatting a Summary never see NaN from the input's length alone.
 func Summarize(xs []float64) Summary {
 	return Summary{
 		N:    len(xs),

@@ -97,6 +97,75 @@ func TestCollector(t *testing.T) {
 	}
 }
 
+// TestDegenerateInputsAreTotal: every batch function must return a
+// defined, finite value on empty and single-element inputs — the
+// NaN-prone cases (0/0 means, √ of negative rounding residue, t-table
+// lookups with df 0) that fleet aggregation with tiny populations hits.
+func TestDegenerateInputsAreTotal(t *testing.T) {
+	funcs := []struct {
+		name string
+		f    func([]float64) float64
+	}{
+		{"Mean", Mean},
+		{"StdDev", StdDev},
+		{"Min", Min},
+		{"Max", Max},
+		{"Median", Median},
+		{"CI95", CI95},
+		{"Quantile(0.5)", func(xs []float64) float64 { return Quantile(xs, 0.5) }},
+	}
+	cases := []struct {
+		name string
+		xs   []float64
+		// wantSingle is the expected value for the single-element input
+		// {7}: the element itself for location statistics, 0 for spread.
+	}{
+		{"nil", nil},
+		{"empty", []float64{}},
+		{"single", []float64{7}},
+	}
+	for _, c := range cases {
+		for _, fn := range funcs {
+			got := fn.f(c.xs)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Errorf("%s(%s) = %v, want finite", fn.name, c.name, got)
+			}
+			if len(c.xs) == 0 && got != 0 {
+				t.Errorf("%s(%s) = %v, want 0", fn.name, c.name, got)
+			}
+		}
+	}
+	// Single-element: location statistics return the element, spread 0.
+	one := []float64{7}
+	for _, fn := range []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"Mean", Mean(one), 7},
+		{"Median", Median(one), 7},
+		{"Min", Min(one), 7},
+		{"Max", Max(one), 7},
+		{"Quantile", Quantile(one, 0.95), 7},
+		{"StdDev", StdDev(one), 0},
+		{"CI95", CI95(one), 0},
+	} {
+		if fn.got != fn.want {
+			t.Errorf("%s({7}) = %v, want %v", fn.name, fn.got, fn.want)
+		}
+	}
+	// Summarize of the degenerate inputs never formats a NaN.
+	for _, xs := range [][]float64{nil, {}, one} {
+		s := Summarize(xs)
+		if strings.Contains(s.String(), "NaN") {
+			t.Errorf("Summarize(%v).String() = %q contains NaN", xs, s.String())
+		}
+	}
+	if s := Summarize(one); s.N != 1 || s.Mean != 7 || s.Min != 7 || s.Max != 7 || s.Std != 0 || s.CI95 != 0 {
+		t.Errorf("Summarize({7}) = %+v", s)
+	}
+}
+
 // Property: Min ≤ Median ≤ Max and Min ≤ Mean ≤ Max.
 func TestPropertyOrderStatistics(t *testing.T) {
 	prop := func(raw []int16) bool {

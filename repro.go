@@ -28,6 +28,7 @@ import (
 	"repro/internal/alarm"
 	"repro/internal/apps"
 	"repro/internal/fault"
+	"repro/internal/fleet"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/simclock"
@@ -79,6 +80,23 @@ type (
 	FaultEvent = fault.Event
 	// DrainResult is a finished run-to-empty battery discharge.
 	DrainResult = sim.DrainResult
+	// FleetSpec describes a population of heterogeneous devices: seeded
+	// distributions over app mixes, rates, battery capacity, and faults
+	// (see internal/fleet).
+	FleetSpec = fleet.Spec
+	// FleetOptions tunes a fleet run (worker count, shard size, progress).
+	FleetOptions = fleet.Options
+	// FleetResult is a finished fleet run; Result.Agg.Summary() is its
+	// deterministic JSON aggregate.
+	FleetResult = fleet.Result
+	// FleetSummary is the deterministic JSON aggregate of a fleet run.
+	FleetSummary = fleet.Summary
+	// FleetDist is one metric's streaming distribution across the fleet.
+	FleetDist = fleet.Dist
+	// FleetRange is a uniform distribution over [Min, Max].
+	FleetRange = fleet.Range
+	// FleetIntRange is a uniform distribution over the integers [Min, Max].
+	FleetIntRange = fleet.IntRange
 	// Time is a virtual-time instant in milliseconds.
 	Time = simclock.Time
 	// Duration is a virtual-time span in milliseconds.
@@ -123,6 +141,15 @@ func RunTrials(cfg Config, trials int) ([]*Result, error) { return sim.RunTrials
 // byte-identical to serial execution. The first error cancels the pool.
 func RunAll(ctx context.Context, cfgs []Config, opts RunAllOptions) ([]*Result, error) {
 	return sim.RunAll(ctx, cfgs, opts)
+}
+
+// RunFleet samples spec.Devices heterogeneous device configurations,
+// runs each under the spec's base and test policies on the parallel
+// pool, and streams the results into memory-bounded online aggregates.
+// For a fixed spec the JSON aggregate is byte-identical across worker
+// counts and shard sizes.
+func RunFleet(ctx context.Context, spec FleetSpec, opts FleetOptions) (*FleetResult, error) {
+	return fleet.Run(ctx, spec, opts)
 }
 
 // RunToEmpty discharges a full battery under the configuration,

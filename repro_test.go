@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -21,6 +22,25 @@ func TestFacadeWorkloads(t *testing.T) {
 	}
 	if DefaultBeta != 0.96 || DefaultDuration != 3*Hour {
 		t.Fatal("paper constants wrong")
+	}
+}
+
+func TestFacadeFleet(t *testing.T) {
+	r, err := RunFleet(context.Background(), FleetSpec{
+		Devices: 12,
+		Seed:    2,
+		Hours:   1,
+		Apps:    FleetIntRange{Min: 2, Max: 6},
+	}, FleetOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Agg.Summary()
+	if s.Devices != 12 || s.Savings.Total.N != 12 {
+		t.Fatalf("fleet summary shape: %d devices, savings N %d", s.Devices, s.Savings.Total.N)
+	}
+	if s.Savings.Total.Mean <= 0 {
+		t.Fatalf("mean fleet savings %.3f, want positive", s.Savings.Total.Mean)
 	}
 }
 
