@@ -1,0 +1,18 @@
+# wakesimd service image. Static binary, no runtime dependencies: the
+# simulator is pure Go (CGO_ENABLED=0), so the final stage is scratch.
+#
+#   docker build -t wakesimd .
+#   docker run -p 8080:8080 wakesimd
+#   curl -s localhost:8080/healthz
+
+FROM golang:1.22 AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /out/wakesimd ./cmd/wakesimd
+
+FROM scratch
+COPY --from=build /out/wakesimd /wakesimd
+EXPOSE 8080
+ENTRYPOINT ["/wakesimd"]
+CMD ["-addr", ":8080"]

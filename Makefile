@@ -12,13 +12,15 @@
 #                   internal/fleet must each stay ≥ $(COVERMIN)%).
 #   make fuzz     — the fuzz targets, longer budget.
 #   make bench    — the queue scaling microbenchmarks, measured.
+#   make serve    — build and run the wakesimd HTTP service locally.
+#   make docker   — build the wakesimd service image.
 #
 # CI runs `make verify` on every push and pull request
 # (.github/workflows/ci.yml).
 
 GO ?= go
 
-.PHONY: verify test cover fuzz bench vet build
+.PHONY: verify test cover fuzz bench vet build serve docker
 
 # Fuzz budget per target in the verify smoke (Go runs one fuzz target
 # per invocation, hence the per-target lines).
@@ -30,7 +32,7 @@ COVERPKGS = ./internal/alarm/ ./internal/sim/ ./internal/fleet/
 
 verify: vet build
 	$(GO) test -race ./...
-	$(GO) test -race -count=2 -run 'RunAll|RunTrials|CompareTrials|Sweep|GoldenRecordParity|Fleet' ./internal/sim/ ./internal/fleet/ .
+	$(GO) test -race -count=2 -run 'RunAll|RunTrials|CompareTrials|Sweep|GoldenRecordParity|Fleet|Concurrent|Drain|SSE|Daemon' ./internal/sim/ ./internal/fleet/ ./internal/runstore/ ./internal/httpapi/ ./cmd/wakesimd/ .
 	$(GO) test ./internal/apps/ -run '^$$' -fuzz '^FuzzSpecJSON$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/alarm/ -run '^$$' -fuzz '^FuzzQueueOps$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/fleet/ -run '^$$' -fuzz '^FuzzFleetSpec$$' -fuzztime $(FUZZTIME)
@@ -66,3 +68,11 @@ test:
 
 bench:
 	$(GO) test ./internal/alarm/ -run '^$$' -bench 'Queue(Insert|Find|PopDue|Realign)' -benchtime=100x -timeout 30m
+
+ADDR ?= :8080
+
+serve:
+	$(GO) run ./cmd/wakesimd -addr $(ADDR)
+
+docker:
+	docker build -t wakesimd .

@@ -11,11 +11,18 @@
 // averages three runs) and the mean is reported. Independent runs fan
 // out over a worker pool (-workers, default GOMAXPROCS); -progress
 // prints per-run completions to stderr.
+//
+// Every flag is validated before any experiment starts; a bad value
+// exits non-zero with a one-line error rather than burning minutes of
+// simulation first (a bad -format used to surface only after the first
+// experiment had already run).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 
 	"repro/internal/report"
@@ -23,71 +30,129 @@ import (
 	"repro/internal/simclock"
 )
 
-var (
-	experiment = flag.String("experiment", "all", "which experiment to regenerate (or 'list')")
-	trials     = flag.Int("trials", 3, "trials per configuration (averaged)")
-	seed       = flag.Int64("seed", 1, "base random seed")
-	hours      = flag.Float64("hours", 3, "connected-standby horizon in hours")
-	format     = flag.String("format", "text", "output format: text, markdown, or csv")
-	workers    = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
-	devices    = flag.Int("devices", 0, "fleet experiment population size (0 = 10000)")
-	progress   = flag.Bool("progress", false, "print per-run completions to stderr")
-)
+// options holds every flag value. Keeping them on a struct (rather than
+// package-level pointers) lets the tests parse and validate arbitrary
+// argument lists without touching global state.
+type options struct {
+	experiment string
+	trials     int
+	seed       int64
+	hours      float64
+	format     string
+	workers    int
+	devices    int
+	progress   bool
+}
+
+// registerFlags binds the options to a FlagSet with their defaults.
+func registerFlags(fs *flag.FlagSet) *options {
+	o := &options{}
+	fs.StringVar(&o.experiment, "experiment", "all", "which experiment to regenerate (or 'list')")
+	fs.IntVar(&o.trials, "trials", 3, "trials per configuration (averaged)")
+	fs.Int64Var(&o.seed, "seed", 1, "base random seed")
+	fs.Float64Var(&o.hours, "hours", 3, "connected-standby horizon in hours")
+	fs.StringVar(&o.format, "format", "text", "output format: text, markdown, or csv")
+	fs.IntVar(&o.workers, "workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	fs.IntVar(&o.devices, "devices", 0, "fleet experiment population size (0 = 10000)")
+	fs.BoolVar(&o.progress, "progress", false, "print per-run completions to stderr")
+	return o
+}
+
+// validate checks every flag value before anything runs: a bad value
+// must be an immediate one-line failure, never a silently defaulted (or
+// worse, post-experiment) surprise.
+func (o *options) validate() error {
+	switch o.experiment {
+	case "all", "list":
+	default:
+		if _, ok := report.ByID(o.experiment); !ok {
+			return fmt.Errorf("unknown experiment %q (try -experiment list)", o.experiment)
+		}
+	}
+	if o.trials < 1 {
+		return fmt.Errorf("-trials %d: want at least one trial", o.trials)
+	}
+	if !(o.hours > 0) || math.IsInf(o.hours, 0) { // !(x>0) also catches NaN
+		return fmt.Errorf("-hours %v: want a positive finite horizon", o.hours)
+	}
+	switch o.format {
+	case "text", "markdown", "csv":
+	default:
+		return fmt.Errorf("unknown format %q (want text, markdown, or csv)", o.format)
+	}
+	if o.workers < 0 {
+		return fmt.Errorf("-workers %d: want a non-negative worker count", o.workers)
+	}
+	if o.devices < 0 {
+		return fmt.Errorf("-devices %d: want a non-negative population size", o.devices)
+	}
+	return nil
+}
 
 func main() {
+	opts := registerFlags(flag.CommandLine)
 	flag.Parse()
-	opts := report.Options{
-		Trials:       *trials,
-		Seed:         *seed,
-		Duration:     simclock.Duration(*hours * float64(simclock.Hour)),
-		Workers:      *workers,
-		FleetDevices: *devices,
+	if err := opts.validate(); err != nil {
+		fail(err)
 	}
-	if *progress {
-		opts.Progress = func(p sim.Progress) {
-			fmt.Fprintf(os.Stderr, "  [%d/%d] %s (%.2fs)\n", p.Done, p.Total, p.Name, p.Wall.Seconds())
+	if err := opts.run(os.Stdout, os.Stderr); err != nil {
+		fail(err)
+	}
+}
+
+// fail prints the one-line error contract: no stack, no usage dump,
+// non-zero exit.
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "report: %v\n", err)
+	os.Exit(1)
+}
+
+// run executes the selected experiments and writes the tables to w;
+// progress (when enabled) goes to errw. Every failure comes back as an
+// error for main's one-line exit path.
+func (o *options) run(w, errw io.Writer) error {
+	ropts := report.Options{
+		Trials:       o.trials,
+		Seed:         o.seed,
+		Duration:     simclock.Duration(o.hours * float64(simclock.Hour)),
+		Workers:      o.workers,
+		FleetDevices: o.devices,
+	}
+	if o.progress {
+		ropts.Progress = func(p sim.Progress) {
+			fmt.Fprintf(errw, "  [%d/%d] %s (%.2fs)\n", p.Done, p.Total, p.Name, p.Wall.Seconds())
 		}
 	}
 
-	if *experiment == "list" {
+	if o.experiment == "list" {
 		for _, e := range report.All() {
-			fmt.Printf("%-10s %s\n", e.ID, e.Paper)
+			fmt.Fprintf(w, "%-10s %s\n", e.ID, e.Paper)
 		}
-		return
+		return nil
 	}
 
-	var selected []report.Experiment
-	if *experiment == "all" {
-		selected = report.All()
-	} else {
-		e, ok := report.ByID(*experiment)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -experiment list)\n", *experiment)
-			os.Exit(2)
-		}
+	selected := report.All()
+	if o.experiment != "all" {
+		e, _ := report.ByID(o.experiment) // validated up front
 		selected = []report.Experiment{e}
 	}
 
 	for _, e := range selected {
-		t, err := e.Build(opts)
+		t, err := e.Build(ropts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
-		switch *format {
+		switch o.format {
 		case "text":
-			err = t.WriteText(os.Stdout)
+			err = t.WriteText(w)
 		case "markdown":
-			err = t.WriteMarkdown(os.Stdout)
+			err = t.WriteMarkdown(w)
 		case "csv":
-			err = t.WriteCSV(os.Stdout)
-		default:
-			fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
-			os.Exit(2)
+			err = t.WriteCSV(w)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 	}
+	return nil
 }

@@ -1,0 +1,243 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// parse runs an argument list through a fresh FlagSet exactly as main
+// does.
+func parse(t *testing.T, args ...string) *options {
+	t.Helper()
+	fs := flag.NewFlagSet("wakesimd", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	o := registerFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return o
+}
+
+// TestValidateFlags: every bad value must fail validation up front with
+// a one-line error naming the offending flag; legitimate configurations
+// must pass.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // error substring; "" means valid
+	}{
+		{"defaults", nil, ""},
+		{"everything tuned", []string{"-addr", "127.0.0.1:9999", "-maxruns", "8", "-workers", "4", "-snapshot", "500", "-maxbody", "4096", "-drain", "5s"}, ""},
+
+		{"empty addr", []string{"-addr", ""}, "-addr"},
+		{"zero maxruns", []string{"-maxruns", "0"}, "-maxruns"},
+		{"negative maxruns", []string{"-maxruns", "-3"}, "-maxruns"},
+		{"negative workers", []string{"-workers", "-1"}, "-workers"},
+		{"zero snapshot", []string{"-snapshot", "0"}, "-snapshot"},
+		{"zero maxbody", []string{"-maxbody", "0"}, "-maxbody"},
+		{"zero drain", []string{"-drain", "0s"}, "-drain"},
+		{"negative drain", []string{"-drain", "-5s"}, "-drain"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := parse(t, c.args...).validate()
+			if c.want == "" {
+				if err != nil {
+					t.Fatalf("validate(%v) = %v, want nil", c.args, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("validate(%v) = %v, want error naming %q", c.args, err, c.want)
+			}
+		})
+	}
+}
+
+// startDaemon runs the daemon on an ephemeral port and returns its base
+// URL, a cancel that triggers graceful shutdown, and a channel with
+// run's outcome.
+func startDaemon(t *testing.T, o *options, out io.Writer) (string, context.CancelFunc, <-chan error) {
+	t.Helper()
+	o.addr = "127.0.0.1:0"
+	addrs := make(chan net.Addr, 1)
+	o.onListen = func(a net.Addr) { addrs <- a }
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- o.run(ctx, out) }()
+	select {
+	case a := <-addrs:
+		return "http://" + a.String(), cancel, errc
+	case err := <-errc:
+		cancel()
+		t.Fatalf("daemon died before listening: %v", err)
+		return "", nil, nil
+	}
+}
+
+// waitExit asserts the daemon's run returned cleanly within the window.
+func waitExit(t *testing.T, errc <-chan error, window time.Duration) {
+	t.Helper()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil", err)
+		}
+	case <-time.After(window):
+		t.Fatalf("daemon did not exit within %v", window)
+	}
+}
+
+// TestDaemonEndToEnd boots the daemon, pushes a run and a fleet through
+// the full HTTP lifecycle, and shuts it down gracefully.
+func TestDaemonEndToEnd(t *testing.T) {
+	var out bytes.Buffer
+	base, cancel, errc := startDaemon(t, parse(t), &out)
+	defer cancel()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	var ids []string
+	for _, sub := range []struct{ path, body string }{
+		{"/runs", `{"workload": "light", "hours": 0.25}`},
+		{"/fleets", `{"devices": 20, "seed": 7, "hours": 0.1, "apps": {"min": 1, "max": 2}}`},
+	} {
+		resp, err := http.Post(base+sub.path, "application/json", strings.NewReader(sub.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("POST %s = %d: %s", sub.path, resp.StatusCode, blob)
+		}
+		var run struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(blob, &run); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, sub.path+"/"+run.ID)
+	}
+
+	for _, path := range ids {
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			var e struct {
+				State string `json:"state"`
+				Error string `json:"error"`
+			}
+			resp, err := http.Get(base + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err := json.Unmarshal(blob, &e); err != nil {
+				t.Fatalf("decode %s: %v", blob, err)
+			}
+			if e.State == "done" {
+				break
+			}
+			if e.State == "failed" || e.State == "cancelled" {
+				t.Fatalf("%s landed in %s: %s", path, e.State, e.Error)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never finished", path)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	cancel()
+	waitExit(t, errc, 30*time.Second)
+	for _, want := range []string{"listening on", "shutting down", "stopped"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("daemon log missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestDaemonDrainDeadlineCancelsInFlight: with a tiny -drain, shutdown
+// must not hang on a huge in-flight fleet — the straggler is cancelled
+// at the deadline and the daemon still exits cleanly.
+func TestDaemonDrainDeadlineCancelsInFlight(t *testing.T) {
+	var mu sync.Mutex
+	var out bytes.Buffer
+	syncOut := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return out.Write(p)
+	})
+	o := parse(t, "-drain", "200ms")
+	base, cancel, errc := startDaemon(t, o, syncOut)
+	defer cancel()
+
+	resp, err := http.Post(base+"/fleets", "application/json",
+		strings.NewReader(`{"devices": 1000000, "seed": 1, "hours": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /fleets = %d", resp.StatusCode)
+	}
+
+	// Give the fleet a moment to actually start, then pull the plug.
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	waitExit(t, errc, 30*time.Second)
+	mu.Lock()
+	defer mu.Unlock()
+	if !strings.Contains(out.String(), "drain deadline passed") {
+		t.Fatalf("expected the drain-deadline path:\n%s", out.String())
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestDaemonListenError: a dead address fails fast with an error, not a
+// hang.
+func TestDaemonListenError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	o := parse(t)
+	o.addr = ln.Addr().String() // already taken
+	if err := o.run(context.Background(), io.Discard); err == nil {
+		t.Fatal("run on an occupied port succeeded")
+	}
+}
+
+// TestUsageExample keeps the doc comment's flag names honest: every
+// flag named there must exist.
+func TestUsageExample(t *testing.T) {
+	for _, f := range []string{"addr", "maxruns", "workers", "snapshot", "maxbody", "drain"} {
+		fs := flag.NewFlagSet("wakesimd", flag.ContinueOnError)
+		registerFlags(fs)
+		if fs.Lookup(f) == nil {
+			t.Fatalf("flag -%s missing", f)
+		}
+	}
+}

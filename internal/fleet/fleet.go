@@ -22,12 +22,33 @@ type Options struct {
 	// runs is folded, with the number of devices done so far and the
 	// fleet size. Calls arrive in device order from a single goroutine.
 	Progress func(done, total int)
+	// RunProgress, when non-nil, receives every underlying simulation
+	// run's completion (two runs per device) as it finishes, before the
+	// device is folded — a slow shard is observable run by run instead of
+	// going dark until its first fold. Indices are fleet-global: Index is
+	// the run's position in the 2×Devices run sequence, Done counts runs
+	// finished across the whole fleet, Total is 2×Devices. Calls are
+	// serialized (the sim.RunAll contract) but, unlike Progress, arrive
+	// in completion order, not device order.
+	RunProgress func(sim.Progress)
+	// Snapshot, when non-nil, is called with a live copy of the running
+	// aggregate after every SnapshotEvery folded devices and always after
+	// the final device. Like Progress it is called in device order from a
+	// single goroutine, so snapshots are deterministic for a fixed Spec.
+	Snapshot func(done, total int, s Summary)
+	// SnapshotEvery is the fold interval between Snapshot calls; ≤ 0
+	// means DefaultSnapshotEvery.
+	SnapshotEvery int
 }
 
 // DefaultShardSize bounds in-flight devices per batch. At two runs per
 // device and ~1–2k delivery records per 3 h run, a shard peaks in the
 // tens of megabytes regardless of fleet size.
 const DefaultShardSize = 64
+
+// DefaultSnapshotEvery is how many device folds separate consecutive
+// Options.Snapshot calls when SnapshotEvery is unset.
+const DefaultSnapshotEvery = 64
 
 // Result is a finished fleet run.
 type Result struct {
@@ -53,6 +74,14 @@ type Result struct {
 // results are folded in device order, so Run's Summary is byte-identical
 // across worker counts and shard sizes for a fixed Spec. Cancelling ctx
 // aborts the fleet with ctx's error.
+//
+// Error contract: a failure mid-fleet (a poisoned shard, ctx
+// cancellation) returns the partial *Result alongside the wrapped error
+// — the aggregate holds every device folded before the failure
+// (Result.Agg.Devices() of them) and is byte-identical to a clean run
+// of the same spec truncated to that many devices. The failed shard
+// contributes nothing. Only a spec that fails validation returns a nil
+// Result.
 func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 	spec = spec.withDefaults()
 	if err := spec.Validate(); err != nil {
@@ -61,6 +90,10 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 	shard := opts.ShardSize
 	if shard <= 0 {
 		shard = DefaultShardSize
+	}
+	snapEvery := opts.SnapshotEvery
+	if snapEvery <= 0 {
+		snapEvery = DefaultSnapshotEvery
 	}
 
 	start := time.Now()
@@ -79,9 +112,21 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 			devices = append(devices, d)
 			cfgs = append(cfgs, spec.Config(d, spec.BasePolicy), spec.Config(d, spec.TestPolicy))
 		}
+		if opts.RunProgress != nil {
+			// Shards run one RunAll at a time, so lifting the per-shard
+			// progress to fleet-global coordinates is a fixed offset.
+			base := 2 * lo
+			runOpts.Progress = func(p sim.Progress) {
+				p.Index += base
+				p.Done += base
+				p.Total = 2 * spec.Devices
+				opts.RunProgress(p)
+			}
+		}
 		rs, err := sim.RunAll(ctx, cfgs, runOpts)
 		if err != nil {
-			return nil, fmt.Errorf("fleet: devices %d–%d: %w", lo, hi-1, err)
+			return &Result{Spec: spec, Agg: agg, Wall: time.Since(start)},
+				fmt.Errorf("fleet: devices %d–%d (aggregate holds %d): %w", lo, hi-1, agg.Devices(), err)
 		}
 		// Fold in device order and drop the results as we go — rs is
 		// the only reference keeping each run's Records alive.
@@ -90,6 +135,11 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 			rs[2*k], rs[2*k+1] = nil, nil
 			if opts.Progress != nil {
 				opts.Progress(agg.Devices(), spec.Devices)
+			}
+			if opts.Snapshot != nil {
+				if n := agg.Devices(); n%snapEvery == 0 || n == spec.Devices {
+					opts.Snapshot(n, spec.Devices, agg.Summary())
+				}
 			}
 		}
 	}

@@ -1,0 +1,269 @@
+// Package httpapi is wakesimd's HTTP surface: submit single-device runs
+// and whole-fleet specs, fetch stored results, cancel in-flight work,
+// and tail per-device progress plus live aggregate snapshots over
+// Server-Sent Events. State lives in an internal/runstore Store; the
+// simulations themselves execute on the existing sim.RunAll/fleet.Run
+// pools, so everything the library guarantees — determinism,
+// byte-identical aggregates, partial results on failure — holds verbatim
+// for results fetched over HTTP.
+//
+//	POST   /runs               submit one device run (RunSpec JSON)
+//	POST   /fleets             submit a fleet (fleet.Spec JSON)
+//	GET    /runs               list everything (runs and fleets)
+//	GET    /fleets             list fleets only
+//	GET    /runs/{id}          fetch a run (result once done)
+//	GET    /fleets/{id}        fetch a fleet (aggregate once done)
+//	DELETE /runs/{id}          cancel (also /fleets/{id})
+//	GET    /runs/{id}/events   SSE: state transitions
+//	GET    /fleets/{id}/events SSE: per-run + per-device progress,
+//	                           aggregate snapshots, final summary
+//	GET    /healthz            liveness + store occupancy
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/fleet"
+	"repro/internal/runstore"
+	"repro/internal/sim"
+)
+
+// Options tune the service.
+type Options struct {
+	// Workers bounds each execution's sim.RunAll pool; ≤ 0 means
+	// GOMAXPROCS.
+	Workers int
+	// SnapshotEvery is the fold interval between SSE aggregate
+	// snapshots; ≤ 0 means fleet.DefaultSnapshotEvery.
+	SnapshotEvery int
+	// MaxBody bounds request bodies in bytes; ≤ 0 means 1 MiB.
+	MaxBody int64
+}
+
+// Server routes the HTTP surface onto a run store.
+type Server struct {
+	store *runstore.Store
+	opts  Options
+	mux   *http.ServeMux
+}
+
+// New assembles the service around an existing store (the daemon owns
+// the store so shutdown can drain it independently of the listener).
+func New(store *runstore.Store, opts Options) *Server {
+	if opts.MaxBody <= 0 {
+		opts.MaxBody = 1 << 20
+	}
+	s := &Server{store: store, opts: opts, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /runs", s.submitRun)
+	s.mux.HandleFunc("POST /fleets", s.submitFleet)
+	s.mux.HandleFunc("GET /runs", s.list(""))
+	s.mux.HandleFunc("GET /fleets", s.list("fleet"))
+	s.mux.HandleFunc("GET /runs/{id}", s.get("run"))
+	s.mux.HandleFunc("GET /fleets/{id}", s.get("fleet"))
+	s.mux.HandleFunc("DELETE /runs/{id}", s.cancel("run"))
+	s.mux.HandleFunc("DELETE /fleets/{id}", s.cancel("fleet"))
+	s.mux.HandleFunc("GET /runs/{id}/events", s.events("run"))
+	s.mux.HandleFunc("GET /fleets/{id}/events", s.events("fleet"))
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON emits one JSON response; encoding a value we built cannot
+// fail in a way the client can still be told about, so errors only stop
+// the write.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// decode parses a bounded JSON request body, rejecting unknown fields —
+// a misspelled knob must be a 400, not a silently defaulted run.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decode request: %w", err)
+	}
+	return nil
+}
+
+// submit registers work and answers 202 with the pending entry.
+func (s *Server) submit(w http.ResponseWriter, kind string, exec runstore.Exec) {
+	run, err := s.store.Submit(kind, exec)
+	if err != nil {
+		// Only Close/Drain makes Submit fail: the daemon is shutting
+		// down.
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	w.Header().Set("Location", fmt.Sprintf("/%ss/%s", kind, run.ID))
+	writeJSON(w, http.StatusAccepted, run)
+}
+
+// submitRun accepts a single-device spec via the specjson path and
+// executes it on the parallel runner (one-element batch: context
+// cancellation and panic isolation come with the pool).
+func (s *Server) submitRun(w http.ResponseWriter, r *http.Request) {
+	var spec RunSpec
+	if err := s.decode(w, r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg, err := spec.Config()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.submit(w, "run", func(ctx context.Context, h runstore.Handle) (any, error) {
+		h.SetProgress(0, 1)
+		rs, err := sim.RunAll(ctx, []sim.Config{cfg}, sim.RunAllOptions{Workers: s.opts.Workers})
+		if err != nil {
+			return nil, err
+		}
+		h.SetProgress(1, 1)
+		return summarize(rs[0]), nil
+	})
+}
+
+// submitFleet accepts a fleet.Spec and executes it on the fleet runner,
+// wiring every progress layer into the SSE fan-out: per-run completions
+// ("run"), per-device folds ("device"), and periodic live aggregates
+// ("snapshot"). On a mid-fleet failure the partial aggregate is stored
+// with the error (fleet.Run's contract).
+func (s *Server) submitFleet(w http.ResponseWriter, r *http.Request) {
+	// fleet.ReadSpec is the one decode+default+validate path for fleet
+	// specs — the service accepts exactly what wakesim -fleet accepts,
+	// including the unknown-field rejection.
+	spec, err := fleet.ReadSpec(http.MaxBytesReader(w, r.Body, s.opts.MaxBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	s.submit(w, "fleet", s.fleetExec(spec))
+}
+
+// deviceData is the payload of "device" SSE events.
+type deviceData struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// runData is the payload of "run" SSE events: one underlying simulation
+// run's completion in fleet-global coordinates.
+type runData struct {
+	Index  int     `json:"index"`
+	Done   int     `json:"done"`
+	Total  int     `json:"total"`
+	Name   string  `json:"name"`
+	WallMS float64 `json:"wall_ms"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// snapshotData wraps a live aggregate with its fold position.
+type snapshotData struct {
+	Done    int           `json:"done"`
+	Total   int           `json:"total"`
+	Summary fleet.Summary `json:"summary"`
+}
+
+func (s *Server) fleetExec(spec fleet.Spec) runstore.Exec {
+	return func(ctx context.Context, h runstore.Handle) (any, error) {
+		opts := fleet.Options{
+			Workers:       s.opts.Workers,
+			SnapshotEvery: s.opts.SnapshotEvery,
+			Progress: func(done, total int) {
+				h.SetProgress(done, total)
+				h.Publish(runstore.Event{Type: "device", Data: deviceData{Done: done, Total: total}})
+			},
+			RunProgress: func(p sim.Progress) {
+				rd := runData{Index: p.Index, Done: p.Done, Total: p.Total,
+					Name: p.Name, WallMS: float64(p.Wall.Microseconds()) / 1000}
+				if p.Err != nil {
+					rd.Error = p.Err.Error()
+				}
+				h.Publish(runstore.Event{Type: "run", Data: rd})
+			},
+			Snapshot: func(done, total int, sum fleet.Summary) {
+				h.Publish(runstore.Event{Type: "snapshot", Data: snapshotData{Done: done, Total: total, Summary: sum}})
+			},
+		}
+		r, err := fleet.Run(ctx, spec, opts)
+		if r == nil {
+			return nil, err
+		}
+		if err != nil && r.Agg.Devices() == 0 {
+			// Nothing folded: the error alone tells the story.
+			return nil, err
+		}
+		return r.Agg.Summary(), err
+	}
+}
+
+// list answers GET /runs (kind == "": everything) and GET /fleets.
+func (s *Server) list(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		all := s.store.List()
+		runs := make([]runstore.Run, 0, len(all))
+		for _, run := range all {
+			if kind == "" || run.Kind == kind {
+				run.Result = nil // listings stay small; fetch by ID for results
+				runs = append(runs, run)
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"runs": runs})
+	}
+}
+
+// lookup fetches the entry and enforces the kind ↔ path-prefix match: a
+// fleet ID under /runs/ is a 404, not a leak across surfaces.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request, kind string) (runstore.Run, bool) {
+	run, err := s.store.Get(r.PathValue("id"))
+	if err != nil || run.Kind != kind {
+		writeError(w, http.StatusNotFound, runstore.ErrNotFound)
+		return runstore.Run{}, false
+	}
+	return run, true
+}
+
+func (s *Server) get(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		run, ok := s.lookup(w, r, kind)
+		if !ok {
+			return
+		}
+		writeJSON(w, http.StatusOK, run)
+	}
+}
+
+func (s *Server) cancel(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := s.lookup(w, r, kind); !ok {
+			return
+		}
+		run, err := s.store.Cancel(r.PathValue("id"))
+		switch {
+		case errors.Is(err, runstore.ErrFinished):
+			writeError(w, http.StatusConflict, err)
+		case err != nil:
+			writeError(w, http.StatusNotFound, err)
+		default:
+			writeJSON(w, http.StatusAccepted, run)
+		}
+	}
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "active": s.store.Active()})
+}

@@ -1,0 +1,58 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServiceLatencyReport measures end-to-end submit-to-done latency —
+// POST accepted through the terminal SSE frame — and prints the
+// distribution table EXPERIMENTS.md §"Service latency" records. It is a
+// measurement, not a gate, so it only runs when asked:
+//
+//	WAKESIMD_LATENCY=1 go test ./internal/httpapi/ -run ServiceLatency -v
+func TestServiceLatencyReport(t *testing.T) {
+	if os.Getenv("WAKESIMD_LATENCY") == "" {
+		t.Skip("set WAKESIMD_LATENCY=1 to measure")
+	}
+	ts, _ := newTestServer(t, 2)
+
+	cases := []struct {
+		name, path, body string
+		n                int
+	}{
+		{"run light 3 h", "/runs", `{"workload": "light", "hours": 3}`, 100},
+		{"run heavy 3 h", "/runs", `{"workload": "heavy", "hours": 3}`, 100},
+		{"fleet 100 dev 3 h", "/fleets", `{"devices": 100, "seed": 1, "hours": 3}`, 20},
+		{"fleet 1000 dev 3 h", "/fleets", `{"devices": 1000, "seed": 1, "hours": 3}`, 5},
+	}
+	for _, c := range cases {
+		lat := make([]time.Duration, 0, c.n)
+		for i := 0; i < c.n; i++ {
+			// Vary the seed so runs are not identical work items.
+			body := strings.Replace(c.body, `"seed": 1`, fmt.Sprintf(`"seed": %d`, i+1), 1)
+			start := time.Now()
+			status, run := post(t, ts.URL+c.path, body)
+			if status != http.StatusAccepted {
+				t.Fatalf("%s: POST = %d", c.name, status)
+			}
+			events := tailSSE(t, ts.URL+c.path+"/"+run.ID+"/events")
+			lat = append(lat, time.Since(start))
+			last := events[len(events)-1]
+			if last.Type != "done" {
+				t.Fatalf("%s: stream ended on %q", c.name, last.Type)
+			}
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		q := func(p float64) time.Duration {
+			i := int(p * float64(len(lat)-1))
+			return lat[i].Round(10 * time.Microsecond)
+		}
+		t.Logf("%-20s n=%-4d p50 %-10v p95 %-10v p99 %v", c.name, c.n, q(0.50), q(0.95), q(0.99))
+	}
+}

@@ -103,6 +103,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Validate checks the configuration exactly as Run would after applying
+// defaults, without running anything. It lets request-accepting surfaces
+// (the HTTP API) reject a bad spec up front instead of admitting a run
+// that is doomed to fail.
+func (c Config) Validate() error {
+	return c.withDefaults().validate()
+}
+
 func (c Config) validate() error {
 	// NaN escapes every ordered comparison below (NaN < 0 is false), so
 	// finiteness is its own check: a NaN rate or factor must surface as

@@ -84,7 +84,9 @@ type (
 	// distributions over app mixes, rates, battery capacity, and faults
 	// (see internal/fleet).
 	FleetSpec = fleet.Spec
-	// FleetOptions tunes a fleet run (worker count, shard size, progress).
+	// FleetOptions tunes a fleet run: worker count, shard size, and the
+	// progress layers (per-device folds, per-run completions, periodic
+	// aggregate snapshots — the hooks cmd/wakesimd streams over SSE).
 	FleetOptions = fleet.Options
 	// FleetResult is a finished fleet run; Result.Agg.Summary() is its
 	// deterministic JSON aggregate.
@@ -147,7 +149,10 @@ func RunAll(ctx context.Context, cfgs []Config, opts RunAllOptions) ([]*Result, 
 // runs each under the spec's base and test policies on the parallel
 // pool, and streams the results into memory-bounded online aggregates.
 // For a fixed spec the JSON aggregate is byte-identical across worker
-// counts and shard sizes.
+// counts and shard sizes. On a mid-fleet failure the returned result
+// is non-nil alongside the error and carries the aggregate over every
+// device folded before the failure; only a spec that fails validation
+// returns a nil result.
 func RunFleet(ctx context.Context, spec FleetSpec, opts FleetOptions) (*FleetResult, error) {
 	return fleet.Run(ctx, spec, opts)
 }
