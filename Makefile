@@ -11,7 +11,12 @@
 #                   packages (internal/alarm, internal/sim,
 #                   internal/fleet must each stay ≥ $(COVERMIN)%).
 #   make fuzz     — the fuzz targets, longer budget.
-#   make bench    — the queue scaling microbenchmarks, measured.
+#   make bench    — the kernel + queue microbenchmarks, measured, then
+#                   gated against bench/baseline.txt (>10% regression in
+#                   ns/op or allocs/op on any kernel benchmark fails).
+#   make bench-baseline — re-measure and overwrite the stored baseline
+#                   (run on the reference machine after an intentional
+#                   perf change, and commit the result).
 #   make serve    — build and run the wakesimd HTTP service locally.
 #   make docker   — build the wakesimd service image.
 #
@@ -20,7 +25,12 @@
 
 GO ?= go
 
-.PHONY: verify test cover fuzz bench vet build serve docker
+.PHONY: verify test cover fuzz bench bench-gate bench-baseline vet build serve docker
+
+# Kernel benchmark selection shared by bench, bench-baseline, and the
+# verify smoke; BENCHCOUNT repetitions feed benchgate's median.
+KERNELBENCH = ./internal/simclock/ -run '^$$' -bench '^BenchmarkKernel' -benchmem
+BENCHCOUNT ?= 10
 
 # Fuzz budget per target in the verify smoke (Go runs one fuzz target
 # per invocation, hence the per-target lines).
@@ -32,12 +42,14 @@ COVERPKGS = ./internal/alarm/ ./internal/sim/ ./internal/fleet/
 
 verify: vet build
 	$(GO) test -race ./...
-	$(GO) test -race -count=2 -run 'RunAll|RunTrials|CompareTrials|Sweep|GoldenRecordParity|Fleet|Concurrent|Drain|SSE|Daemon' ./internal/sim/ ./internal/fleet/ ./internal/runstore/ ./internal/httpapi/ ./cmd/wakesimd/ .
+	$(GO) test -race -count=2 -run 'RunAll|RunTrials|CompareTrials|Sweep|GoldenRecordParity|Fleet|Concurrent|Drain|SSE|Daemon|PooledMatchesUnpooled|NoTraceParity' ./internal/simclock/ ./internal/sim/ ./internal/fleet/ ./internal/runstore/ ./internal/httpapi/ ./cmd/wakesimd/ .
 	$(GO) test ./internal/apps/ -run '^$$' -fuzz '^FuzzSpecJSON$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/alarm/ -run '^$$' -fuzz '^FuzzQueueOps$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/fleet/ -run '^$$' -fuzz '^FuzzFleetSpec$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/simclock/ -run '^$$' -fuzz '^FuzzClockPool$$' -fuzztime $(FUZZTIME)
 	$(MAKE) cover
 	$(GO) test ./internal/alarm/ -run '^$$' -bench 'Queue(Insert|Find|PopDue|Realign)' -benchtime=1x -short -timeout 10m
+	$(GO) test -race $(KERNELBENCH) -benchtime=1x -timeout 10m
 
 # cover fails if any core package's statement coverage drops below the
 # floor; the awk exit carries the verdict so the gate works without any
@@ -56,6 +68,7 @@ fuzz:
 	$(GO) test ./internal/apps/ -run '^$$' -fuzz '^FuzzSpecJSON$$' -fuzztime 2m
 	$(GO) test ./internal/alarm/ -run '^$$' -fuzz '^FuzzQueueOps$$' -fuzztime 2m
 	$(GO) test ./internal/fleet/ -run '^$$' -fuzz '^FuzzFleetSpec$$' -fuzztime 2m
+	$(GO) test ./internal/simclock/ -run '^$$' -fuzz '^FuzzClockPool$$' -fuzztime 2m
 
 vet:
 	$(GO) vet ./...
@@ -66,8 +79,21 @@ build:
 test:
 	$(GO) build ./... && $(GO) test ./...
 
-bench:
+# bench-gate measures the kernel benchmarks and gates them against the
+# stored baseline — the CI perf floor.
+bench-gate:
+	$(GO) test $(KERNELBENCH) -count=$(BENCHCOUNT) -timeout 30m | tee bench/current.txt
+	$(GO) run ./cmd/benchgate -baseline bench/baseline.txt bench/current.txt
+
+# bench runs the gate plus the queue scaling benchmarks (informational,
+# not gated — their cost is dominated by setup shape, not the kernel).
+bench: bench-gate
 	$(GO) test ./internal/alarm/ -run '^$$' -bench 'Queue(Insert|Find|PopDue|Realign)' -benchtime=100x -timeout 30m
+
+# bench-baseline overwrites the committed perf floor. Only run it for an
+# intentional, reviewed performance change.
+bench-baseline:
+	$(GO) test $(KERNELBENCH) -count=$(BENCHCOUNT) -timeout 30m | tee bench/baseline.txt
 
 ADDR ?= :8080
 

@@ -263,6 +263,19 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulationThroughputNoTrace is the same run in the NoTrace
+// fast mode — what every fleet device executes. The delta against
+// BenchmarkSimulationThroughput is the cost of record retention.
+func BenchmarkSimulationThroughputNoTrace(b *testing.B) {
+	cfg := experimentConfig(HeavyWorkload(), "SIMTY")
+	cfg.NoTrace = true
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimilarity measures the similarity classification primitives.
 func BenchmarkSimilarity(b *testing.B) {
 	a := hw.MakeSet(hw.WiFi, hw.WPS)

@@ -1,0 +1,281 @@
+// Command benchgate compares `go test -bench` output against a stored
+// baseline and fails when a benchmark regresses beyond a threshold. It
+// is the perf floor for the event-kernel fast path: the baseline lives
+// in bench/baseline.txt, CI reruns the benchmarks and refuses a >10%
+// regression in ns/op or allocs/op on any gated benchmark.
+//
+// The comparison follows benchstat's shape without the dependency: each
+// benchmark's repeated measurements (-count=N) reduce to their median,
+// and medians are compared pairwise by name. A benchmark present in the
+// baseline but missing from the current run fails the gate — deleting a
+// benchmark must be an explicit baseline update, not a silent hole in
+// the floor.
+//
+// Usage:
+//
+//	benchgate -baseline bench/baseline.txt [-threshold 0.10] [current.txt]
+//
+// With no file argument the current run is read from stdin, so the tool
+// pipes directly off `go test -bench`.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// options holds every flag value, on a struct so the tests can drive
+// arbitrary argument lists without global state.
+type options struct {
+	baseline  string
+	threshold float64
+}
+
+// registerFlags binds the options to a FlagSet with their defaults.
+func registerFlags(fs *flag.FlagSet) *options {
+	o := &options{}
+	fs.StringVar(&o.baseline, "baseline", "", "stored benchmark baseline to gate against (required)")
+	fs.Float64Var(&o.threshold, "threshold", 0.10, "allowed fractional regression in ns/op and allocs/op")
+	return o
+}
+
+// validate checks the flag values before anything runs.
+func (o *options) validate() error {
+	if o.baseline == "" {
+		return fmt.Errorf("-baseline is required")
+	}
+	if !(o.threshold >= 0) || math.IsInf(o.threshold, 0) { // !(…) also catches NaN
+		return fmt.Errorf("-threshold %v: want a non-negative finite fraction", o.threshold)
+	}
+	return nil
+}
+
+// sample is one benchmark's reduced measurements.
+type sample struct {
+	nsPerOp     float64
+	allocsPerOp float64
+	hasAllocs   bool
+	n           int // number of raw measurements behind the medians
+}
+
+// parseBench reads `go test -bench` output and reduces each benchmark
+// (keyed by name with the -GOMAXPROCS suffix stripped) to the median of
+// its repeated measurements.
+func parseBench(r io.Reader) (map[string]sample, error) {
+	type raw struct {
+		ns, allocs []float64
+		hasAllocs  bool
+	}
+	byName := map[string]*raw{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		entry := byName[name]
+		if entry == nil {
+			entry = &raw{}
+			byName[name] = entry
+		}
+		// fields[1] is the iteration count; after it come value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: %q: bad value %q", name, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				entry.ns = append(entry.ns, v)
+			case "allocs/op":
+				entry.allocs = append(entry.allocs, v)
+				entry.hasAllocs = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := map[string]sample{}
+	for name, r := range byName {
+		if len(r.ns) == 0 {
+			continue
+		}
+		out[name] = sample{
+			nsPerOp:     median(r.ns),
+			allocsPerOp: median(r.allocs),
+			hasAllocs:   r.hasAllocs,
+			n:           len(r.ns),
+		}
+	}
+	return out, nil
+}
+
+// median reduces measurements the way benchstat does: middle value, or
+// the mean of the two middles for an even count. Zero for no samples.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// verdict is one gated benchmark's comparison.
+type verdict struct {
+	name       string
+	base, cur  sample
+	missing    bool
+	regressed  []string
+	deltaNs    float64 // fractional change in ns/op
+	deltaAlloc float64 // fractional change in allocs/op
+}
+
+// frac returns the fractional change cur vs base; a zero base with a
+// positive cur is an unbounded regression, reported as +Inf.
+func frac(base, cur float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (cur - base) / base
+}
+
+// compare gates every baseline benchmark against the current run.
+func compare(base, cur map[string]sample, threshold float64) []verdict {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var out []verdict
+	for _, name := range names {
+		v := verdict{name: name, base: base[name]}
+		c, ok := cur[name]
+		if !ok {
+			v.missing = true
+			v.regressed = append(v.regressed, "missing from current run")
+			out = append(out, v)
+			continue
+		}
+		v.cur = c
+		v.deltaNs = frac(v.base.nsPerOp, c.nsPerOp)
+		if v.deltaNs > threshold {
+			v.regressed = append(v.regressed, fmt.Sprintf("ns/op +%.1f%%", 100*v.deltaNs))
+		}
+		if v.base.hasAllocs && c.hasAllocs {
+			v.deltaAlloc = frac(v.base.allocsPerOp, c.allocsPerOp)
+			if v.deltaAlloc > threshold {
+				out := fmt.Sprintf("allocs/op +%.1f%%", 100*v.deltaAlloc)
+				if math.IsInf(v.deltaAlloc, 1) {
+					out = fmt.Sprintf("allocs/op %g from an allocation-free baseline", c.allocsPerOp)
+				}
+				v.regressed = append(v.regressed, out)
+			}
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// report renders the comparison table and returns whether the gate
+// holds.
+func report(w io.Writer, verdicts []verdict) bool {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tbase ns/op\tcur ns/op\tΔ\tbase allocs\tcur allocs\tverdict")
+	ok := true
+	for _, v := range verdicts {
+		if v.missing {
+			fmt.Fprintf(tw, "%s\t%.1f\t-\t-\t%.0f\t-\tFAIL (missing)\n", v.name, v.base.nsPerOp, v.base.allocsPerOp)
+			ok = false
+			continue
+		}
+		status := "ok"
+		if len(v.regressed) > 0 {
+			status = "FAIL (" + strings.Join(v.regressed, ", ") + ")"
+			ok = false
+		}
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%+.1f%%\t%.0f\t%.0f\t%s\n",
+			v.name, v.base.nsPerOp, v.cur.nsPerOp, 100*v.deltaNs,
+			v.base.allocsPerOp, v.cur.allocsPerOp, status)
+	}
+	tw.Flush()
+	return ok
+}
+
+// run executes the gate: parse both inputs, compare, report.
+func (o *options) run(cur io.Reader, stdout io.Writer) error {
+	bf, err := os.Open(o.baseline)
+	if err != nil {
+		return err
+	}
+	base, err := parseBench(bf)
+	bf.Close()
+	if err != nil {
+		return err
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("baseline %s holds no benchmark results", o.baseline)
+	}
+	current, err := parseBench(cur)
+	if err != nil {
+		return err
+	}
+	if !report(stdout, compare(base, current, o.threshold)) {
+		return fmt.Errorf("benchmark gate failed against %s (threshold %.0f%%)", o.baseline, 100*o.threshold)
+	}
+	fmt.Fprintf(stdout, "benchmark gate passed against %s (threshold %.0f%%)\n", o.baseline, 100*o.threshold)
+	return nil
+}
+
+func main() {
+	opts := registerFlags(flag.CommandLine)
+	flag.Parse()
+	if err := opts.validate(); err != nil {
+		fail(err)
+	}
+	var cur io.Reader = os.Stdin
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		cur = f
+	default:
+		fail(fmt.Errorf("at most one current-run file, got %d", flag.NArg()))
+	}
+	if err := opts.run(cur, os.Stdout); err != nil {
+		fail(err)
+	}
+}
+
+// fail prints the one-line error contract: no stack, no usage dump.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleRun = `goos: linux
+goarch: amd64
+pkg: repro/internal/simclock
+cpu: Fake CPU @ 3.00GHz
+BenchmarkKernelScheduleFire-8   	83019116	        13.10 ns/op	       0 B/op	       0 allocs/op
+BenchmarkKernelScheduleFire-8   	91670636	        13.20 ns/op	       0 B/op	       0 allocs/op
+BenchmarkKernelScheduleFire-8   	90572562	        13.00 ns/op	       0 B/op	       0 allocs/op
+BenchmarkKernelChurnDeep-8      	11094624	       109.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkKernelRun-8            	   14897	     80260 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/simclock	8.514s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(got), got)
+	}
+	fire := got["BenchmarkKernelScheduleFire"]
+	if fire.n != 3 {
+		t.Fatalf("ScheduleFire folded %d samples, want 3", fire.n)
+	}
+	if fire.nsPerOp != 13.10 { // median of 13.00, 13.10, 13.20
+		t.Fatalf("ScheduleFire median ns/op = %v, want 13.10", fire.nsPerOp)
+	}
+	if !fire.hasAllocs || fire.allocsPerOp != 0 {
+		t.Fatalf("ScheduleFire allocs = %+v", fire)
+	}
+	if got["BenchmarkKernelRun"].nsPerOp != 80260 {
+		t.Fatalf("KernelRun ns/op = %v", got["BenchmarkKernelRun"].nsPerOp)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Fatalf("empty median = %v", m)
+	}
+}
+
+// mustParse parses literal bench output for the comparison tests.
+func mustParse(t *testing.T, s string) map[string]sample {
+	t.Helper()
+	m, err := parseBench(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	base := mustParse(t, `
+BenchmarkA-8	1000	100.0 ns/op	0 B/op	0 allocs/op
+BenchmarkB-8	1000	100.0 ns/op	0 B/op	2 allocs/op
+BenchmarkGone-8	1000	100.0 ns/op	0 B/op	0 allocs/op
+`)
+	cur := mustParse(t, `
+BenchmarkA-8	1000	105.0 ns/op	0 B/op	1 allocs/op
+BenchmarkB-8	1000	200.0 ns/op	0 B/op	2 allocs/op
+`)
+	verdicts := compare(base, cur, 0.10)
+	if len(verdicts) != 3 {
+		t.Fatalf("%d verdicts, want 3", len(verdicts))
+	}
+	byName := map[string]verdict{}
+	for _, v := range verdicts {
+		byName[v.name] = v
+	}
+	// A: ns within threshold, but allocs grew from a zero baseline — an
+	// unbounded regression.
+	a := byName["BenchmarkA"]
+	if len(a.regressed) != 1 || !strings.Contains(a.regressed[0], "allocation-free") {
+		t.Fatalf("A verdict = %+v", a)
+	}
+	if !math.IsInf(a.deltaAlloc, 1) {
+		t.Fatalf("A alloc delta = %v, want +Inf", a.deltaAlloc)
+	}
+	// B: allocs flat, ns doubled.
+	b := byName["BenchmarkB"]
+	if len(b.regressed) != 1 || !strings.Contains(b.regressed[0], "ns/op") {
+		t.Fatalf("B verdict = %+v", b)
+	}
+	// Gone: present in baseline, absent from the run.
+	if g := byName["BenchmarkGone"]; !g.missing {
+		t.Fatalf("Gone verdict = %+v", g)
+	}
+}
+
+func TestComparePassesWithinThreshold(t *testing.T) {
+	base := mustParse(t, "BenchmarkA-8\t1000\t100.0 ns/op\t0 B/op\t10 allocs/op\n")
+	cur := mustParse(t, "BenchmarkA-8\t1000\t109.0 ns/op\t0 B/op\t11 allocs/op\n")
+	for _, v := range compare(base, cur, 0.10) {
+		if len(v.regressed) != 0 {
+			t.Fatalf("within-threshold drift flagged: %+v", v)
+		}
+	}
+	// An improvement is never a failure.
+	cur = mustParse(t, "BenchmarkA-8\t1000\t50.0 ns/op\t0 B/op\t0 allocs/op\n")
+	for _, v := range compare(base, cur, 0.10) {
+		if len(v.regressed) != 0 {
+			t.Fatalf("improvement flagged: %+v", v)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-baseline", "b.txt"}, ""},
+		{[]string{"-baseline", "b.txt", "-threshold", "0"}, ""},
+		{nil, "-baseline"},
+		{[]string{"-baseline", "b.txt", "-threshold", "-0.5"}, "-threshold"},
+		{[]string{"-baseline", "b.txt", "-threshold", "NaN"}, "-threshold"},
+		{[]string{"-baseline", "b.txt", "-threshold", "+Inf"}, "-threshold"},
+	}
+	for _, tc := range cases {
+		fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		o := registerFlags(fs)
+		if err := fs.Parse(tc.args); err != nil {
+			t.Fatal(err)
+		}
+		err := o.validate()
+		if tc.want == "" && err != nil {
+			t.Fatalf("%v rejected: %v", tc.args, err)
+		}
+		if tc.want != "" && (err == nil || !strings.Contains(err.Error(), tc.want)) {
+			t.Fatalf("%v: error %v does not name %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.txt")
+	if err := os.WriteFile(baseline, []byte(sampleRun), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := &options{baseline: baseline, threshold: 0.10}
+
+	// Identical run: gate passes and the report names every benchmark.
+	var out bytes.Buffer
+	if err := o.run(strings.NewReader(sampleRun), &out); err != nil {
+		t.Fatalf("identical run failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkKernelScheduleFire") {
+		t.Fatalf("report missing benchmark:\n%s", out.String())
+	}
+
+	// Regressed run: gate fails.
+	regressed := strings.ReplaceAll(sampleRun, "109.0 ns/op", "250.0 ns/op")
+	out.Reset()
+	if err := o.run(strings.NewReader(regressed), &out); err == nil {
+		t.Fatalf("regression passed the gate:\n%s", out.String())
+	}
+
+	// Empty baseline is a configuration error, not a trivially-green gate.
+	empty := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(empty, []byte("PASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&options{baseline: empty, threshold: 0.10}).run(strings.NewReader(sampleRun), io.Discard); err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+}

@@ -8,11 +8,21 @@
 //
 //	tracegen [-apps 30] [-seed 1] [-imperceptible 0.9] [-dynamic 0.5]
 //	         [-minperiod 60] [-maxperiod 1800] [-run] [-policy SIMTY] [-hours 3]
+//	tracegen -from trace.json [-o specs.json] [-run] [-policy SIMTY] [-hours 3]
+//
+// -from infers the workload from a recorded JSON trace (wakesim -json)
+// instead of generating one; the generator knobs (-apps, -imperceptible,
+// -dynamic, -minperiod, -maxperiod) conflict with it.
+//
+// Every flag value and combination is validated before anything runs; a
+// bad combination exits non-zero with a one-line error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"math/rand"
 	"os"
 	"text/tabwriter"
@@ -25,27 +35,82 @@ import (
 	"repro/internal/trace"
 )
 
-var (
-	nApps         = flag.Int("apps", 30, "number of synthetic resident apps")
-	seed          = flag.Int64("seed", 1, "random seed")
-	imperceptible = flag.Float64("imperceptible", 0.9, "fraction of imperceptible alarms")
-	dynamicFrac   = flag.Float64("dynamic", 0.5, "fraction of dynamic repeating alarms")
-	minPeriod     = flag.Int("minperiod", 60, "minimum repeating interval (s)")
-	maxPeriod     = flag.Int("maxperiod", 1800, "maximum repeating interval (s)")
-	run           = flag.Bool("run", false, "run the generated workload instead of only printing it")
-	from          = flag.String("from", "", "infer the workload from a JSON trace (wakesim -json) instead of generating one")
-	out           = flag.String("o", "", "write the workload as a JSON spec file (loadable with wakesim -spec)")
-	policy        = flag.String("policy", "SIMTY", "policy used with -run")
-	hours         = flag.Float64("hours", 3, "horizon used with -run")
-)
+// options holds every flag value. Keeping them on a struct (rather than
+// package-level pointers) lets the tests parse and validate arbitrary
+// argument lists without touching global state.
+type options struct {
+	nApps         int
+	seed          int64
+	imperceptible float64
+	dynamicFrac   float64
+	minPeriod     int
+	maxPeriod     int
+	run           bool
+	from          string
+	out           string
+	policy        string
+	hours         float64
+}
 
-// Generate builds n synthetic app specs. Exported via the main package
-// only; the generation logic itself is small enough to live here.
-func generate(n int, rng *rand.Rand) []apps.Spec {
-	if *maxPeriod < *minPeriod {
-		fmt.Fprintln(os.Stderr, "maxperiod below minperiod")
-		os.Exit(2)
+// registerFlags binds the options to a FlagSet with their defaults.
+func registerFlags(fs *flag.FlagSet) *options {
+	o := &options{}
+	fs.IntVar(&o.nApps, "apps", 30, "number of synthetic resident apps")
+	fs.Int64Var(&o.seed, "seed", 1, "random seed")
+	fs.Float64Var(&o.imperceptible, "imperceptible", 0.9, "fraction of imperceptible alarms")
+	fs.Float64Var(&o.dynamicFrac, "dynamic", 0.5, "fraction of dynamic repeating alarms")
+	fs.IntVar(&o.minPeriod, "minperiod", 60, "minimum repeating interval (s)")
+	fs.IntVar(&o.maxPeriod, "maxperiod", 1800, "maximum repeating interval (s)")
+	fs.BoolVar(&o.run, "run", false, "run the generated workload instead of only printing it")
+	fs.StringVar(&o.from, "from", "", "infer the workload from a JSON trace (wakesim -json) instead of generating one")
+	fs.StringVar(&o.out, "o", "", "write the workload as a JSON spec file (loadable with wakesim -spec)")
+	fs.StringVar(&o.policy, "policy", "SIMTY", "policy used with -run")
+	fs.Float64Var(&o.hours, "hours", 3, "horizon used with -run")
+	return o
+}
+
+// generatorFlags are the knobs that shape a synthetic workload; they
+// conflict with -from, which replaces generation with trace inference.
+var generatorFlags = []string{"apps", "imperceptible", "dynamic", "minperiod", "maxperiod"}
+
+// validate checks every flag value and combination before anything
+// runs. explicit holds the flags the user actually set (flag.Visit), so
+// a default value never false-positives a -from conflict.
+func (o *options) validate(explicit map[string]bool) error {
+	if o.from != "" {
+		for _, f := range generatorFlags {
+			if explicit[f] {
+				return fmt.Errorf("-%s does not apply with -from: the trace determines the workload", f)
+			}
+		}
+	} else {
+		if o.nApps <= 0 {
+			return fmt.Errorf("-apps %d: want a positive app count", o.nApps)
+		}
+		if o.minPeriod <= 0 {
+			return fmt.Errorf("-minperiod %d: want a positive interval in seconds", o.minPeriod)
+		}
+		if o.maxPeriod < o.minPeriod {
+			return fmt.Errorf("-maxperiod %d below -minperiod %d", o.maxPeriod, o.minPeriod)
+		}
+		if !(o.imperceptible >= 0 && o.imperceptible <= 1) { // !(…) also catches NaN
+			return fmt.Errorf("-imperceptible %v: want a fraction in [0,1]", o.imperceptible)
+		}
+		if !(o.dynamicFrac >= 0 && o.dynamicFrac <= 1) {
+			return fmt.Errorf("-dynamic %v: want a fraction in [0,1]", o.dynamicFrac)
+		}
 	}
+	if !(o.hours > 0) || math.IsInf(o.hours, 0) {
+		return fmt.Errorf("-hours %v: want a positive finite horizon", o.hours)
+	}
+	if _, err := sim.PolicyByName(o.policy); err != nil {
+		return err
+	}
+	return nil
+}
+
+// generate builds the synthetic app specs from the validated options.
+func (o *options) generate(rng *rand.Rand) []apps.Spec {
 	hwChoices := []struct {
 		set hw.Set
 		dur simclock.Duration
@@ -61,22 +126,22 @@ func generate(n int, rng *rand.Rand) []apps.Spec {
 		dur simclock.Duration
 	}{hw.MakeSet(hw.Speaker, hw.Vibrator), simclock.Second}
 
-	specs := make([]apps.Spec, 0, n)
-	for i := 0; i < n; i++ {
-		period := simclock.Duration(*minPeriod+rng.Intn(*maxPeriod-*minPeriod+1)) * simclock.Second
+	specs := make([]apps.Spec, 0, o.nApps)
+	for i := 0; i < o.nApps; i++ {
+		period := simclock.Duration(o.minPeriod+rng.Intn(o.maxPeriod-o.minPeriod+1)) * simclock.Second
 		alpha := 0.0
 		if rng.Float64() < 0.5 {
 			alpha = 0.75
 		}
 		choice := perceptible
-		if rng.Float64() < *imperceptible {
+		if rng.Float64() < o.imperceptible {
 			choice = hwChoices[rng.Intn(len(hwChoices))]
 		}
 		specs = append(specs, apps.Spec{
 			Name:    fmt.Sprintf("synth.%02d", i),
 			Period:  period,
 			Alpha:   alpha,
-			Dynamic: rng.Float64() < *dynamicFrac,
+			Dynamic: rng.Float64() < o.dynamicFrac,
 			HW:      choice.set,
 			TaskDur: choice.dur,
 		})
@@ -84,29 +149,33 @@ func generate(n int, rng *rand.Rand) []apps.Spec {
 	return specs
 }
 
-func main() {
-	flag.Parse()
-	var specs []apps.Spec
-	if *from != "" {
-		f, err := os.Open(*from)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		events, err := trace.ReadJSON(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		specs = imitate.Infer(events)
-		fmt.Printf("inferred %d imitated apps from %s\n", len(specs), *from)
-	} else {
-		rng := rand.New(rand.NewSource(*seed))
-		specs = generate(*nApps, rng)
+// loadWorkload resolves -from / the generator knobs into specs.
+func (o *options) loadWorkload(w io.Writer) ([]apps.Spec, error) {
+	if o.from == "" {
+		return o.generate(rand.New(rand.NewSource(o.seed))), nil
+	}
+	f, err := os.Open(o.from)
+	if err != nil {
+		return nil, err
+	}
+	events, err := trace.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	specs := imitate.Infer(events)
+	fmt.Fprintf(w, "inferred %d imitated apps from %s\n", len(specs), o.from)
+	return specs, nil
+}
+
+// execute prints the spec table and performs the -o / -run actions.
+func (o *options) execute(stdout io.Writer) error {
+	specs, err := o.loadWorkload(stdout)
+	if err != nil {
+		return err
 	}
 
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	w := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "app\tReIn(s)\tα\tS/D\thardware\ttask(s)")
 	for _, s := range specs {
 		sd := "S"
@@ -118,38 +187,58 @@ func main() {
 	}
 	w.Flush()
 
-	if *out != "" {
-		f, err := os.Create(*out)
+	if o.out != "" {
+		f, err := os.Create(o.out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		if err := apps.WriteSpecs(f, specs); err != nil {
 			f.Close()
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
-		f.Close()
-		fmt.Printf("workload written to %s\n", *out)
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "workload written to %s\n", o.out)
 	}
 
-	if !*run {
-		return
+	if !o.run {
+		return nil
 	}
 	cmp, err := sim.Compare(sim.Config{
 		Workload:     specs,
 		SystemAlarms: true,
-		Duration:     simclock.Duration(*hours * float64(simclock.Hour)),
-		Seed:         *seed,
-	}, "NATIVE", *policy)
+		Duration:     simclock.Duration(o.hours * float64(simclock.Hour)),
+		Seed:         o.seed,
+	}, "NATIVE", o.policy)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("\nNATIVE: %d wakeups, %.0f J, %.1f h standby\n",
+	fmt.Fprintf(stdout, "\nNATIVE: %d wakeups, %.0f J, %.1f h standby\n",
 		cmp.Base.FinalWakeups, cmp.Base.Energy.TotalMJ()/1000, cmp.Base.StandbyHours)
-	fmt.Printf("%s: %d wakeups, %.0f J, %.1f h standby\n", cmp.Test.PolicyName,
+	fmt.Fprintf(stdout, "%s: %d wakeups, %.0f J, %.1f h standby\n", cmp.Test.PolicyName,
 		cmp.Test.FinalWakeups, cmp.Test.Energy.TotalMJ()/1000, cmp.Test.StandbyHours)
-	fmt.Printf("total savings %.1f%%, standby extension %.1f%%\n",
+	fmt.Fprintf(stdout, "total savings %.1f%%, standby extension %.1f%%\n",
 		cmp.TotalSavings()*100, cmp.StandbyExtension()*100)
+	return nil
+}
+
+func main() {
+	opts := registerFlags(flag.CommandLine)
+	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if err := opts.validate(explicit); err != nil {
+		fail(err)
+	}
+	if err := opts.execute(os.Stdout); err != nil {
+		fail(err)
+	}
+}
+
+// fail prints the one-line error contract: no stack, no usage dump,
+// non-zero exit.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
 }

@@ -8,7 +8,7 @@
 //	        [-pushes 0] [-screens 0]
 //	        [-leak apps] [-leaknever apps] [-storm app:period_s[:count]]
 //	        [-trace out.csv] [-json out.json] [-timeline MIN] [-anomaly]
-//	        [-toempty] [-v]
+//	        [-toempty] [-notrace] [-v]
 //	wakesim -fleet N [-fleetspec file.json] [-workers 0] [-json agg.json]
 //	        [-policy SIMTY] [-hours 3] [-beta 0.96] [-seed 0]
 //
@@ -25,7 +25,11 @@
 //
 // The trace-export flags (-trace, -json, -timeline, -anomaly) work in
 // both fixed-horizon and -toempty mode; a run-to-empty trace covers the
-// entire discharge.
+// entire discharge. -notrace runs the simulation in the no-trace fast
+// mode — no records or trace are retained, every printed metric is
+// unchanged — and therefore conflicts with the export flags and -v.
+// Fleet runs always use the fast mode (their aggregate is streamed), so
+// -notrace is redundant there and rejected.
 //
 // The fault flags inject deterministic misbehaviour (see internal/fault):
 // -leak holds the named apps' wakelocks past release, -leaknever never
@@ -83,6 +87,7 @@ type options struct {
 	storm     string
 	traceCSV  string
 	traceJSON string
+	noTrace   bool
 	detect    bool
 	toEmpty   bool
 	timeline  int
@@ -110,6 +115,7 @@ func registerFlags(fs *flag.FlagSet) *options {
 	fs.StringVar(&o.storm, "storm", "", "alarm storm spec app:period_s[:count], e.g. rogue:5")
 	fs.StringVar(&o.traceCSV, "trace", "", "write the event trace as CSV to this file")
 	fs.StringVar(&o.traceJSON, "json", "", "write the event trace (or, in fleet mode, the aggregate) as JSON to this file")
+	fs.BoolVar(&o.noTrace, "notrace", false, "run in the no-trace fast mode: skip record retention (metrics are unchanged)")
 	fs.BoolVar(&o.detect, "anomaly", false, "scan the run for no-sleep energy bugs")
 	fs.BoolVar(&o.toEmpty, "toempty", false, "simulate from full battery until empty (measures standby time directly)")
 	fs.IntVar(&o.timeline, "timeline", 0, "render the first N minutes as an ASCII timeline")
@@ -176,6 +182,18 @@ func (o *options) validate(explicit map[string]bool) error {
 	}
 	if o.timeline < 0 {
 		return fmt.Errorf("-timeline %d: want a non-negative minute count", o.timeline)
+	}
+	if o.noTrace {
+		if o.fleetMode() {
+			return fmt.Errorf("-notrace does not apply to a fleet run: fleets already use the no-trace fast mode")
+		}
+		// Everything that consumes the event trace or the raw records
+		// needs them retained.
+		for _, f := range []string{"trace", "json", "timeline", "anomaly", "v"} {
+			if explicit[f] {
+				return fmt.Errorf("-%s needs the trace: it conflicts with -notrace", f)
+			}
+		}
 	}
 	if _, err := o.faultPlan(); err != nil {
 		return err
@@ -279,6 +297,7 @@ func (o *options) config(specs []apps.Spec, name string) (sim.Config, error) {
 		PushesPerHour:         o.pushes,
 		ScreenSessionsPerHour: o.screens,
 		Faults:                plan,
+		NoTrace:               o.noTrace,
 		CollectTrace:          o.traceCSV != "" || o.traceJSON != "" || o.detect || o.timeline > 0,
 	}, nil
 }
@@ -341,11 +360,12 @@ func (o *options) run(w io.Writer) error {
 	fmt.Fprintf(w, "energy: %s\n", r.Energy.String())
 	fmt.Fprintf(w, "average power %.1f mW → projected standby %.1f h\n",
 		r.Energy.AveragePowerMW(), r.StandbyHours)
+	deliveries := r.DelaysAll.PerceptibleN + r.DelaysAll.ImperceptibleN
 	fmt.Fprintf(w, "wakeups %d for %d deliveries (%.1f deliveries/wakeup)\n",
-		r.FinalWakeups, len(r.Records), float64(len(r.Records))/float64(max(1, r.FinalWakeups)))
+		r.FinalWakeups, deliveries, float64(deliveries)/float64(max(1, r.FinalWakeups)))
 	fmt.Fprintf(w, "delays: perceptible %.3f%%, imperceptible %.2f%% (apps only)\n",
 		r.Delays.PerceptibleMean*100, r.Delays.ImperceptibleMean*100)
-	if gaps := metrics.WakeupGaps(r.Records); gaps.N > 0 {
+	if gaps := r.WakeGaps; gaps.N > 0 {
 		fmt.Fprintf(w, "wakeup spacing: min %v, mean %.1fs, max %v\n", gaps.Min, gaps.Mean, gaps.Max)
 	}
 	if len(r.FaultEvents) > 0 {

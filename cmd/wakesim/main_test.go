@@ -86,6 +86,14 @@ func TestValidateFlagCombinations(t *testing.T) {
 		{"storm bad count", []string{"-storm", "rogue:5:x"}, "-storm"},
 		{"storm negative count", []string{"-storm", "rogue:5:-1"}, "-storm"},
 		{"storm too many fields", []string{"-storm", "a:b:c:d"}, "-storm"},
+		{"notrace alone", []string{"-notrace"}, ""},
+		{"notrace with toempty", []string{"-notrace", "-toempty"}, ""},
+		{"notrace with trace", []string{"-notrace", "-trace", "t.csv"}, "-trace"},
+		{"notrace with json", []string{"-notrace", "-json", "t.json"}, "-json"},
+		{"notrace with timeline", []string{"-notrace", "-timeline", "5"}, "-timeline"},
+		{"notrace with anomaly", []string{"-notrace", "-anomaly"}, "-anomaly"},
+		{"notrace with verbose", []string{"-notrace", "-v"}, "-v"},
+		{"notrace with fleet", []string{"-fleet", "10", "-notrace"}, "-notrace"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -79,8 +79,8 @@ type Manager struct {
 	// rebuilt in nominal-time order (§2.1). On by default.
 	realign bool
 
-	wakeTimer    *simclock.Event
-	nonwakeTimer *simclock.Event
+	wakeTimer    simclock.Timer
+	nonwakeTimer simclock.Timer
 
 	onRecord func(Record)
 
@@ -170,15 +170,17 @@ func (m *Manager) Cancel(id string) bool {
 func (m *Manager) Pending() int { return m.wakeQ.AlarmCount() + m.nonwakeQ.AlarmCount() }
 
 // reschedule re-arms the delivery timers to the current queue heads.
+// Cancel on an already-fired timer is a no-op (the pool generation has
+// moved on), so the timers need no explicit zeroing between deliveries.
 func (m *Manager) reschedule() {
 	m.clock.Cancel(m.wakeTimer)
-	m.wakeTimer = nil
+	m.wakeTimer = simclock.Timer{}
 	if h := m.wakeQ.Head(); h != nil {
 		at := maxTime(m.clock.Now(), h.DeliveryTime())
 		m.wakeTimer = m.clock.Schedule(at, m.onWakeTimer)
 	}
 	m.clock.Cancel(m.nonwakeTimer)
-	m.nonwakeTimer = nil
+	m.nonwakeTimer = simclock.Timer{}
 	if h := m.nonwakeQ.Head(); h != nil {
 		at := maxTime(m.clock.Now(), h.DeliveryTime())
 		m.nonwakeTimer = m.clock.Schedule(at, m.onNonWakeTimer)
@@ -188,7 +190,7 @@ func (m *Manager) reschedule() {
 // onWakeTimer fires at the head wakeup entry's delivery time: the RTC
 // awakens the device (if asleep) and due entries are delivered.
 func (m *Manager) onWakeTimer() {
-	m.wakeTimer = nil
+	m.wakeTimer = simclock.Timer{}
 	m.host.ExecuteWake(m.deliverDue)
 }
 
@@ -196,7 +198,7 @@ func (m *Manager) onWakeTimer() {
 // delivers only if the device happens to be awake; otherwise the entry
 // waits for the next wake (flushNonWakeup).
 func (m *Manager) onNonWakeTimer() {
-	m.nonwakeTimer = nil
+	m.nonwakeTimer = simclock.Timer{}
 	if m.host.Awake() {
 		m.deliverDue()
 	}

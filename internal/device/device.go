@@ -44,7 +44,7 @@ type Device struct {
 	nextFree [hw.NumComponents]simclock.Time
 
 	tasksActive int
-	sleepTimer  *simclock.Event
+	sleepTimer  simclock.Timer
 
 	// onTask, when set, observes task lifecycle: it is called with
 	// start=true when a task's wakelocks are acquired and start=false
@@ -233,7 +233,7 @@ func (d *Device) TasksActive() int { return d.tasksActive }
 
 func (d *Device) cancelSleep() {
 	d.clock.Cancel(d.sleepTimer)
-	d.sleepTimer = nil
+	d.sleepTimer = simclock.Timer{}
 }
 
 // idleCheck arms the doze timer: once the device has been idle for the
@@ -243,7 +243,7 @@ func (d *Device) idleCheck() {
 		return
 	}
 	d.sleepTimer = d.clock.After(d.profile.AwakeHold, func() {
-		d.sleepTimer = nil
+		d.sleepTimer = simclock.Timer{}
 		if d.st == awake && d.tasksActive == 0 {
 			d.st = asleep
 			d.acct.SetAwake(false)

@@ -231,3 +231,21 @@ func TestRecordViolation(t *testing.T) {
 	}
 	_ = hw.WiFi // keep the import honest: violations originate in hw
 }
+
+// TestEventsSnapshot: Events must return a copy — callers sort fault
+// logs by app for reporting, and that must not reorder the injector's
+// own chronological record.
+func TestEventsSnapshot(t *testing.T) {
+	in, err := NewInjector(Plan{Leaks: []Leak{{App: "A"}}}, 1, simclock.New(), []string{"A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.RecordViolation("hw", "first")
+	in.RecordViolation("hw", "second")
+	ev := in.Events()
+	first := ev[0]
+	ev[0], ev[1] = ev[1], ev[0]
+	if got := in.Events()[0]; got != first {
+		t.Fatalf("mutating Events() result corrupted the log: got %+v, want %+v", got, first)
+	}
+}

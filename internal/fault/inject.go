@@ -76,8 +76,12 @@ func NewInjector(p Plan, seed int64, clock *simclock.Clock, installed []string) 
 	return in, nil
 }
 
-// Events returns the fault events recorded so far, in simulation order.
-func (in *Injector) Events() []Event { return in.events }
+// Events returns a copy of the fault events recorded so far, in
+// simulation order. It is a snapshot: callers may mutate or sort the
+// returned slice without corrupting the injector's own log.
+func (in *Injector) Events() []Event {
+	return append([]Event(nil), in.events...)
+}
 
 func (in *Injector) record(app, kind, detail string) {
 	e := Event{At: in.clock.Now(), App: app, Kind: kind, Detail: detail}

@@ -117,25 +117,20 @@ func newPolicyAcc() *policyAcc {
 }
 
 // observe folds one finished run into the policy's accumulators. The
-// guarantee counters scan the run's Records here, before the caller
-// releases them — records never survive past the shard that produced
-// them.
+// guarantee counters fold the run's streamed Guarantees rather than
+// re-scanning its Records, so runs executed in the NoTrace fast mode
+// (no Records at all) aggregate identically: sums of per-run counts and
+// the max of per-run maxima equal the record-level scan exactly.
 func (p *policyAcc) observe(r *sim.Result) {
 	p.energy.add(r.Energy.TotalMJ())
 	p.standby.add(r.StandbyHours)
 	p.wakeups.add(float64(r.FinalWakeups))
 	p.imperc.add(r.Delays.ImperceptibleMean)
-	for _, rec := range r.Records {
-		if rec.Perceptible {
-			if rec.Delivered > rec.WindowEnd {
-				p.perceptibleLate++
-			}
-			if d := rec.NormalizedDelay(); d > p.maxPerceptibleDelay {
-				p.maxPerceptibleDelay = d
-			}
-		} else if rec.Delivered > rec.GraceEnd {
-			p.graceLate++
-		}
+	g := r.Guarantees
+	p.perceptibleLate += g.PerceptibleLate
+	p.graceLate += g.GraceLate
+	if g.MaxPerceptibleDelay > p.maxPerceptibleDelay {
+		p.maxPerceptibleDelay = g.MaxPerceptibleDelay
 	}
 }
 

@@ -39,6 +39,12 @@ type Options struct {
 	// SnapshotEvery is the fold interval between Snapshot calls; ≤ 0
 	// means DefaultSnapshotEvery.
 	SnapshotEvery int
+	// RetainRecords disables the per-run NoTrace fast mode: each run
+	// then keeps its full Record slice until its shard is folded. The
+	// aggregate is byte-identical either way — every statistic the
+	// fleet folds is streamed inside the run — so retaining records
+	// only buys debuggability at a memory and allocation cost.
+	RetainRecords bool
 }
 
 // DefaultShardSize bounds in-flight devices per batch. At two runs per
@@ -110,7 +116,10 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 		for i := lo; i < hi; i++ {
 			d := spec.SampleDevice(i)
 			devices = append(devices, d)
-			cfgs = append(cfgs, spec.Config(d, spec.BasePolicy), spec.Config(d, spec.TestPolicy))
+			base, test := spec.Config(d, spec.BasePolicy), spec.Config(d, spec.TestPolicy)
+			base.NoTrace = !opts.RetainRecords
+			test.NoTrace = !opts.RetainRecords
+			cfgs = append(cfgs, base, test)
 		}
 		if opts.RunProgress != nil {
 			// Shards run one RunAll at a time, so lifting the per-shard

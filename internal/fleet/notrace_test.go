@@ -1,0 +1,19 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFleetByteIdenticalWithRetainedRecords: the fleet default runs
+// every simulation in the NoTrace fast mode; flipping RetainRecords
+// back on must not move a single byte of the summary. Together with the
+// sim-level parity test this pins the acceptance contract that the
+// fast mode is a pure memory/allocation optimization.
+func TestFleetByteIdenticalWithRetainedRecords(t *testing.T) {
+	fast := summaryJSON(t, Options{Workers: 4, ShardSize: 16})
+	retained := summaryJSON(t, Options{Workers: 4, ShardSize: 16, RetainRecords: true})
+	if !bytes.Equal(fast, retained) {
+		t.Fatalf("summary differs with RetainRecords:\nfast:\n%s\nretained:\n%s", fast, retained)
+	}
+}

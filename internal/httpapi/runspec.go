@@ -145,7 +145,7 @@ func summarize(r *sim.Result) RunSummary {
 		AveragePowerMW:     r.Energy.AveragePowerMW(),
 		StandbyHours:       r.StandbyHours,
 		Wakeups:            r.FinalWakeups,
-		Deliveries:         len(r.Records),
+		Deliveries:         r.DelaysAll.PerceptibleN + r.DelaysAll.ImperceptibleN,
 		Pushes:             r.Pushes,
 		PerceptibleDelay:   r.Delays.PerceptibleMean,
 		ImperceptibleDelay: r.Delays.ImperceptibleMean,

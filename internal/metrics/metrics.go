@@ -26,34 +26,53 @@ type DelayStats struct {
 	ImperceptibleN    int
 }
 
+// DelayAcc streams DelayStats one record at a time. It is the arithmetic
+// behind Delays: the batch function folds through an accumulator, so the
+// streaming path (sim's NoTrace fast mode, which never retains records)
+// and the batch path produce bit-identical statistics by construction.
+type DelayAcc struct {
+	s          DelayStats
+	pSum, iSum float64
+}
+
+// Add folds one delivery into the accumulator.
+func (a *DelayAcc) Add(r alarm.Record) {
+	d := r.NormalizedDelay()
+	if r.Perceptible {
+		a.pSum += d
+		a.s.PerceptibleN++
+		if d > a.s.PerceptibleMax {
+			a.s.PerceptibleMax = d
+		}
+	} else {
+		a.iSum += d
+		a.s.ImperceptibleN++
+		if d > a.s.ImperceptibleMax {
+			a.s.ImperceptibleMax = d
+		}
+	}
+}
+
+// Stats finalizes the means and returns the statistics so far.
+func (a *DelayAcc) Stats() DelayStats {
+	s := a.s
+	if s.PerceptibleN > 0 {
+		s.PerceptibleMean = a.pSum / float64(s.PerceptibleN)
+	}
+	if s.ImperceptibleN > 0 {
+		s.ImperceptibleMean = a.iSum / float64(s.ImperceptibleN)
+	}
+	return s
+}
+
 // Delays computes delay statistics over the records, grouping by the
 // delivery's observed perceptibility.
 func Delays(recs []alarm.Record) DelayStats {
-	var s DelayStats
-	var pSum, iSum float64
+	var a DelayAcc
 	for _, r := range recs {
-		d := r.NormalizedDelay()
-		if r.Perceptible {
-			pSum += d
-			s.PerceptibleN++
-			if d > s.PerceptibleMax {
-				s.PerceptibleMax = d
-			}
-		} else {
-			iSum += d
-			s.ImperceptibleN++
-			if d > s.ImperceptibleMax {
-				s.ImperceptibleMax = d
-			}
-		}
+		a.Add(r)
 	}
-	if s.PerceptibleN > 0 {
-		s.PerceptibleMean = pSum / float64(s.PerceptibleN)
-	}
-	if s.ImperceptibleN > 0 {
-		s.ImperceptibleMean = iSum / float64(s.ImperceptibleN)
-	}
-	return s
+	return a.Stats()
 }
 
 // Row is one line of the Table 4 wakeup breakdown: Wakeups is the number
@@ -86,46 +105,136 @@ type Breakdown struct {
 	Component [hw.NumComponents]Row
 }
 
+// WakeupAcc streams the Table 4 breakdown. Wakeups is the batch facade
+// over it, so the streaming (NoTrace) and batch paths cannot diverge.
+type WakeupAcc struct {
+	b            Breakdown
+	cpuSessions  map[int]bool
+	compSessions [hw.NumComponents]map[int]bool
+}
+
+// NewWakeupAcc returns an empty accumulator.
+func NewWakeupAcc() *WakeupAcc {
+	a := &WakeupAcc{cpuSessions: map[int]bool{}}
+	for c := range a.compSessions {
+		a.compSessions[c] = map[int]bool{}
+	}
+	return a
+}
+
+// Add folds one delivery into the accumulator.
+func (a *WakeupAcc) Add(r alarm.Record) {
+	a.b.CPU.Expected++
+	a.cpuSessions[r.Session] = true
+	for _, c := range r.HW.Components() {
+		a.b.Component[c].Expected++
+		a.compSessions[c][r.Session] = true
+	}
+}
+
+// Breakdown returns the breakdown accumulated so far.
+func (a *WakeupAcc) Breakdown() Breakdown {
+	b := a.b
+	b.CPU.Wakeups = len(a.cpuSessions)
+	for c := range a.compSessions {
+		b.Component[c].Wakeups = len(a.compSessions[c])
+	}
+	return b
+}
+
 // Wakeups computes the breakdown. A "wakeup" for a row is a distinct
 // awake session among the matching deliveries, so alarms batched into one
 // session count once.
 func Wakeups(recs []alarm.Record) Breakdown {
-	var b Breakdown
-	cpuSessions := map[int]bool{}
-	compSessions := [hw.NumComponents]map[int]bool{}
-	for c := range compSessions {
-		compSessions[c] = map[int]bool{}
-	}
+	a := NewWakeupAcc()
 	for _, r := range recs {
-		b.CPU.Expected++
-		cpuSessions[r.Session] = true
-		for _, c := range r.HW.Components() {
-			b.Component[c].Expected++
-			compSessions[c][r.Session] = true
-		}
+		a.Add(r)
 	}
-	b.CPU.Wakeups = len(cpuSessions)
-	for c := range compSessions {
-		b.Component[c].Wakeups = len(compSessions[c])
+	return a.Breakdown()
+}
+
+// SpkVibAcc streams the merged Speaker&Vibrator row. SpeakerVibrator is
+// the batch facade over it.
+type SpkVibAcc struct {
+	row      Row
+	sessions map[int]bool
+}
+
+// NewSpkVibAcc returns an empty accumulator.
+func NewSpkVibAcc() *SpkVibAcc { return &SpkVibAcc{sessions: map[int]bool{}} }
+
+// Add folds one delivery into the accumulator.
+func (a *SpkVibAcc) Add(r alarm.Record) {
+	if r.HW.Intersects(hw.MakeSet(hw.Speaker, hw.Vibrator)) {
+		a.row.Expected++
+		a.sessions[r.Session] = true
 	}
-	return b
+}
+
+// Row returns the merged row accumulated so far.
+func (a *SpkVibAcc) Row() Row {
+	row := a.row
+	row.Wakeups = len(a.sessions)
+	return row
 }
 
 // SpeakerVibrator merges the speaker and vibrator rows the way Table 4
 // reports them ("Speaker&Vibrator"). Sessions delivering either count
 // once, so the merged row is computed from records, not by adding rows.
 func SpeakerVibrator(recs []alarm.Record) Row {
-	var row Row
-	sessions := map[int]bool{}
-	both := hw.MakeSet(hw.Speaker, hw.Vibrator)
+	a := NewSpkVibAcc()
 	for _, r := range recs {
-		if r.HW.Intersects(both) {
-			row.Expected++
-			sessions[r.Session] = true
-		}
+		a.Add(r)
 	}
-	row.Wakeups = len(sessions)
-	return row
+	return a.Row()
+}
+
+// Guarantees counts the paper's delivery guarantees over a run: how many
+// perceptible deliveries slipped past their window end (the headline "a
+// perceptible alarm is never postponed" invariant), how many
+// imperceptible deliveries slipped past their grace end, and the largest
+// normalized perceptible delay observed. The fleet layer folds these
+// per-run counters instead of re-scanning records, which is what lets
+// the NoTrace fast mode drop the records entirely without changing a
+// fleet summary byte.
+type Guarantees struct {
+	// PerceptibleLate counts perceptible deliveries past their window end.
+	PerceptibleLate int
+	// GraceLate counts imperceptible deliveries past their grace end.
+	GraceLate int
+	// MaxPerceptibleDelay is the largest normalized perceptible delay.
+	MaxPerceptibleDelay float64
+}
+
+// GuaranteeAcc streams Guarantees one record at a time.
+type GuaranteeAcc struct {
+	g Guarantees
+}
+
+// Add folds one delivery into the accumulator.
+func (a *GuaranteeAcc) Add(r alarm.Record) {
+	if r.Perceptible {
+		if r.Delivered > r.WindowEnd {
+			a.g.PerceptibleLate++
+		}
+		if d := r.NormalizedDelay(); d > a.g.MaxPerceptibleDelay {
+			a.g.MaxPerceptibleDelay = d
+		}
+	} else if r.Delivered > r.GraceEnd {
+		a.g.GraceLate++
+	}
+}
+
+// Guarantees returns the counters accumulated so far.
+func (a *GuaranteeAcc) Guarantees() Guarantees { return a.g }
+
+// GuaranteesOf computes the guarantee counters over a record slice.
+func GuaranteesOf(recs []alarm.Record) Guarantees {
+	var a GuaranteeAcc
+	for _, r := range recs {
+		a.Add(r)
+	}
+	return a.Guarantees()
 }
 
 // LeastWakeups is the paper's lower bound on per-component wakeups: the
@@ -234,6 +343,48 @@ func CountByApp(recs []alarm.Record) map[string]int {
 		out[r.App]++
 	}
 	return out
+}
+
+// GapAcc streams WakeupGaps one record at a time. It relies on two
+// invariants the simulator guarantees: records arrive in delivery
+// order, and session numbers are assigned monotonically — so the first
+// record carrying a new session number marks that session's start.
+type GapAcc struct {
+	started   bool
+	session   int
+	prevStart simclock.Time
+	stats     IntervalStats
+	sum       float64
+}
+
+// Add folds one delivery record into the accumulator.
+func (g *GapAcc) Add(r alarm.Record) {
+	if g.started && r.Session == g.session {
+		return
+	}
+	if g.started {
+		gap := r.Delivered.Sub(g.prevStart)
+		if g.stats.N == 0 || gap < g.stats.Min {
+			g.stats.Min = gap
+		}
+		if gap > g.stats.Max {
+			g.stats.Max = gap
+		}
+		g.sum += gap.Seconds()
+		g.stats.N++
+	}
+	g.started = true
+	g.session = r.Session
+	g.prevStart = r.Delivered
+}
+
+// Stats reports the gap distribution accumulated so far.
+func (g *GapAcc) Stats() IntervalStats {
+	s := g.stats
+	if s.N > 0 {
+		s.Mean = g.sum / float64(s.N)
+	}
+	return s
 }
 
 // WakeupGaps reports the distribution of time between consecutive

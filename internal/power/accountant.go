@@ -72,10 +72,10 @@ type Accountant struct {
 	lastUpdate simclock.Time
 
 	// powered tracks whether each component is drawing power (held or in
-	// its tail); tailEvents holds the pending tail-expiry event if any.
+	// its tail); tailEvents holds the pending tail-expiry timer if any.
 	powered    [hw.NumComponents]bool
 	poweredAt  [hw.NumComponents]simclock.Time
-	tailEvents [hw.NumComponents]*simclock.Event
+	tailEvents [hw.NumComponents]simclock.Timer
 
 	b Breakdown
 }
@@ -133,9 +133,9 @@ func (a *Accountant) Awake() bool { return a.awake }
 // period from a previous use.
 func (a *Accountant) ComponentOn(c hw.Component) {
 	a.advance()
-	if a.tailEvents[c] != nil {
+	if a.tailEvents[c].Pending() {
 		a.clock.Cancel(a.tailEvents[c])
-		a.tailEvents[c] = nil
+		a.tailEvents[c] = simclock.Timer{}
 		return // still powered from the tail: no activation, no state change
 	}
 	if a.powered[c] {
@@ -162,7 +162,7 @@ func (a *Accountant) ComponentOff(c hw.Component) {
 	a.tailEvents[c] = a.clock.After(tail, func() {
 		a.advance()
 		a.powered[c] = false
-		a.tailEvents[c] = nil
+		a.tailEvents[c] = simclock.Timer{}
 	})
 }
 

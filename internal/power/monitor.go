@@ -24,7 +24,7 @@ type Monitor struct {
 	acct    *Accountant
 	period  simclock.Duration
 	samples []Sample
-	event   *simclock.Event
+	event   simclock.Timer
 	running bool
 }
 
@@ -59,7 +59,7 @@ func (m *Monitor) Stop() {
 	}
 	m.running = false
 	m.clock.Cancel(m.event)
-	m.event = nil
+	m.event = simclock.Timer{}
 }
 
 // Samples returns the recorded trace.

@@ -34,6 +34,61 @@ type runEnv struct {
 	inj     *fault.Injector
 	recs    []alarm.Record
 	pushes  int
+
+	// Every derived metric streams through these accumulators as records
+	// arrive — the same arithmetic whether or not the records themselves
+	// are retained, which is what makes Config.NoTrace bit-identical to a
+	// retained run on everything but Records/Trace.
+	appNames  map[string]bool
+	delaysApp metrics.DelayAcc
+	delaysAll metrics.DelayAcc
+	wakeups   *metrics.WakeupAcc
+	spkvib    *metrics.SpkVibAcc
+	guard     metrics.GuaranteeAcc
+	gaps      metrics.GapAcc
+}
+
+// observe is the manager's record sink: it streams every derived metric
+// and, outside NoTrace mode, retains the record and mirrors it into the
+// trace.
+func (e *runEnv) observe(r alarm.Record) {
+	if !e.cfg.NoTrace {
+		e.recs = append(e.recs, r)
+	}
+	if e.appNames[r.App] {
+		e.delaysApp.Add(r)
+	}
+	e.delaysAll.Add(r)
+	e.wakeups.Add(r)
+	e.spkvib.Add(r)
+	e.guard.Add(r)
+	e.gaps.Add(r)
+	if e.logger != nil {
+		e.logger.Record(r)
+	}
+}
+
+// estimateDeliveries bounds the run's expected alarm-delivery count from
+// the workload's repeating intervals — used to presize the record slice
+// and the trace buffer so steady-state appends never reallocate. It is a
+// heuristic (dynamic alarms drift, realignment batches), so it aims a
+// little high rather than exact.
+func estimateDeliveries(cfg Config, horizon simclock.Duration) int {
+	n := cfg.OneShots
+	add := func(period simclock.Duration) {
+		if period > 0 {
+			n += int(horizon/period) + 1
+		}
+	}
+	for _, s := range cfg.Workload {
+		add(s.Period)
+	}
+	if cfg.SystemAlarms {
+		for _, s := range apps.SystemSpecs() {
+			add(s.Period)
+		}
+	}
+	return n
 }
 
 // newRunEnv validates cfg and assembles the environment. horizon bounds
@@ -78,17 +133,27 @@ func newRunEnv(cfg Config, horizon simclock.Duration) (*runEnv, error) {
 	env.mgr = alarm.NewManager(env.clock, env.dev, pol)
 	env.mgr.SetRealign(!cfg.DisableRealign)
 
+	env.appNames = make(map[string]bool, len(cfg.Workload))
+	for _, s := range cfg.Workload {
+		env.appNames[s.Name] = true
+	}
+	env.wakeups = metrics.NewWakeupAcc()
+	env.spkvib = metrics.NewSpkVibAcc()
+	deliveries := estimateDeliveries(cfg, horizon)
+	if !cfg.NoTrace {
+		env.recs = make([]alarm.Record, 0, deliveries)
+	}
 	if cfg.CollectTrace {
-		env.logger = trace.NewLogger(env.clock)
+		// Each delivery produces a handful of trace events (the delivery
+		// itself, task start/end, wakelock transitions); pushes and screen
+		// sessions add a similar burst each.
+		bursts := int(float64(horizon) / float64(simclock.Hour) *
+			(cfg.PushesPerHour + cfg.ScreenSessionsPerHour))
+		env.logger = trace.NewLoggerSized(env.clock, 6*deliveries+6*bursts)
 		env.dev.Wakelocks().Subscribe(env.logger)
 		env.dev.OnTask(env.logger.Task)
-		env.mgr.SetRecordFunc(func(r alarm.Record) {
-			env.recs = append(env.recs, r)
-			env.logger.Record(r)
-		})
-	} else {
-		env.mgr.SetRecordFunc(func(r alarm.Record) { env.recs = append(env.recs, r) })
 	}
+	env.mgr.SetRecordFunc(env.observe)
 
 	env.rt = apps.NewRuntime(env.clock, env.dev, env.mgr, cfg.Beta, simclock.Rand(cfg.Seed+1))
 	env.rt.Jitter = cfg.TaskJitter
@@ -207,28 +272,22 @@ func (e *runEnv) schedulePushes(horizon simclock.Duration) {
 	schedule(simclock.Time(simclock.Duration(rng.ExpFloat64() * meanGap)))
 }
 
-// result computes every derived metric from the finished run.
+// result computes every derived metric from the finished run. All
+// record-derived statistics come from the streaming accumulators fed by
+// observe, so the result is identical whether or not the records were
+// retained (Config.NoTrace).
 func (e *runEnv) result() *Result {
-	appNames := map[string]bool{}
-	for _, s := range e.cfg.Workload {
-		appNames[s.Name] = true
-	}
-	var appRecs []alarm.Record
-	for _, r := range e.recs {
-		if appNames[r.App] {
-			appRecs = append(appRecs, r)
-		}
-	}
-
 	res := &Result{
 		Config:       e.cfg,
 		PolicyName:   e.pol.Name(),
 		Energy:       e.dev.Accountant().Snapshot(),
 		Records:      e.recs,
-		Delays:       metrics.Delays(appRecs),
-		DelaysAll:    metrics.Delays(e.recs),
-		Wakeups:      metrics.Wakeups(e.recs),
-		SpkVib:       metrics.SpeakerVibrator(e.recs),
+		Delays:       e.delaysApp.Stats(),
+		DelaysAll:    e.delaysAll.Stats(),
+		Wakeups:      e.wakeups.Breakdown(),
+		SpkVib:       e.spkvib.Row(),
+		Guarantees:   e.guard.Guarantees(),
+		WakeGaps:     e.gaps.Stats(),
 		Trace:        e.logger,
 		FinalWakeups: e.dev.Wakeups(),
 		Pushes:       e.pushes,

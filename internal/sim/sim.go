@@ -81,6 +81,14 @@ type Config struct {
 	DisableRealign bool
 	// CollectTrace attaches a trace.Logger to the run.
 	CollectTrace bool
+	// NoTrace is the fleet fast mode: the run retains no delivery
+	// records and attaches no trace — Result.Records and Result.Trace
+	// are nil — while every derived metric (Energy, StandbyHours,
+	// Delays, Wakeups, SpkVib, Guarantees) is computed streaming, record
+	// by record, through the same accumulators the retained path uses,
+	// so the numbers are bit-identical in both modes. Mutually exclusive
+	// with CollectTrace.
+	NoTrace bool
 	// Faults, when non-nil, injects the plan's failure modes (wakelock
 	// leaks, alarm storms, task jitter/overruns, clock skew) into the
 	// run. Injection is deterministic per (Seed, plan): repeating a run
@@ -145,6 +153,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("sim: negative screen-session duration %v", c.ScreenSessionDur)
 	case c.TaskJitter < 0 || c.TaskJitter >= 1:
 		return fmt.Errorf("sim: task jitter %v outside [0,1)", c.TaskJitter)
+	case c.NoTrace && c.CollectTrace:
+		return fmt.Errorf("sim: NoTrace and CollectTrace are mutually exclusive")
 	}
 	if c.Faults != nil {
 		installed := make([]string, 0, len(c.Workload))
@@ -192,7 +202,9 @@ type Result struct {
 	PolicyName   string
 	Energy       power.Breakdown
 	StandbyHours float64
-	Records      []alarm.Record
+	// Records is the full delivery stream, nil when Config.NoTrace is
+	// set (the metrics below are streamed instead of derived from it).
+	Records []alarm.Record
 	// Delays covers the workload's application alarms only — Figure 4's
 	// population. DelaysAll additionally includes system and one-shot
 	// alarms.
@@ -200,7 +212,15 @@ type Result struct {
 	DelaysAll metrics.DelayStats
 	Wakeups   metrics.Breakdown
 	SpkVib    metrics.Row
-	Trace     *trace.Logger
+	// Guarantees carries the per-run delivery-guarantee counters the
+	// fleet layer folds (computed streaming, identical in NoTrace and
+	// retained modes).
+	Guarantees metrics.Guarantees
+	// WakeGaps is the spacing between wakeup-session starts, streamed
+	// so it survives NoTrace (equals metrics.WakeupGaps(Records) when
+	// records are retained).
+	WakeGaps metrics.IntervalStats
+	Trace      *trace.Logger
 	// FinalWakeups is the device's total sleep→awake transition count
 	// (matches Energy.WakeTransitions).
 	FinalWakeups int

@@ -1,0 +1,89 @@
+package simclock
+
+import "testing"
+
+// The kernel benchmarks measure the per-event cost of the simulation
+// core: scheduling, firing, cancelling, and re-arming timers. They are
+// the benchmarks the benchstat gate (make benchgate, bench/baseline.txt)
+// holds to a perf floor: a change that regresses ns/op or allocs/op on
+// any of them by more than the gate threshold fails CI. EXPERIMENTS.md
+// "Kernel scaling" records the before/after trajectory.
+
+// nop is a shared no-op callback so the benchmarks measure the kernel,
+// not closure allocation.
+func nop() {}
+
+// BenchmarkKernelScheduleFire is the steady-state schedule→fire churn —
+// the alarm manager's per-delivery pattern on an otherwise empty clock.
+func BenchmarkKernelScheduleFire(b *testing.B) {
+	b.ReportAllocs()
+	c := New()
+	for i := 0; i < b.N; i++ {
+		c.Schedule(c.Now()+1, nop)
+		c.Step()
+	}
+}
+
+// BenchmarkKernelScheduleCancel is the arm→disarm churn — the device's
+// sleep-timer pattern (idleCheck arms, every task cancels).
+func BenchmarkKernelScheduleCancel(b *testing.B) {
+	b.ReportAllocs()
+	c := New()
+	for i := 0; i < b.N; i++ {
+		e := c.Schedule(c.Now()+1000, nop)
+		c.Cancel(e)
+	}
+}
+
+// BenchmarkKernelChurnDeep is schedule→fire churn over a heap holding
+// 1024 resident events — the fleet-scale shape, where a dense alarm
+// population keeps the heap deep while deliveries churn at the front.
+func BenchmarkKernelChurnDeep(b *testing.B) {
+	b.ReportAllocs()
+	c := New()
+	const resident = 1024
+	far := Time(1) << 40
+	for i := 0; i < resident; i++ {
+		c.Schedule(far+Time(i), nop)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Schedule(c.Now()+1, nop)
+		c.Step()
+	}
+}
+
+// BenchmarkKernelRearm is the cancel→re-schedule pattern of
+// Manager.reschedule: the head timer is torn down and re-armed on every
+// queue mutation, against a deep resident heap.
+func BenchmarkKernelRearm(b *testing.B) {
+	b.ReportAllocs()
+	c := New()
+	const resident = 1024
+	far := Time(1) << 40
+	for i := 0; i < resident; i++ {
+		c.Schedule(far+Time(i), nop)
+	}
+	head := c.Schedule(1, nop)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Cancel(head)
+		head = c.Schedule(c.Now()+1, nop)
+	}
+}
+
+// BenchmarkKernelRun schedules and drains 1024 events per op through
+// Run's hot loop on a long-lived clock — the steady-state shape of a
+// fleet run, where one clock churns through millions of events.
+func BenchmarkKernelRun(b *testing.B) {
+	b.ReportAllocs()
+	const n = 1024
+	c := New()
+	for i := 0; i < b.N; i++ {
+		base := c.Now()
+		for j := 0; j < n; j++ {
+			c.Schedule(base+Time(j), nop)
+		}
+		c.Run(base + n)
+	}
+}

@@ -7,10 +7,17 @@
 // Clock. Events scheduled for the same instant fire in FIFO order of
 // scheduling, which makes every simulation run fully reproducible for a
 // given seed.
+//
+// The kernel is allocation-free in steady state: fired and cancelled
+// events are recycled through a per-clock free list, and the timer heap
+// is maintained with inline sift operations (no container/heap interface
+// boxing). Schedule therefore returns a generation-stamped Timer handle
+// rather than a pointer into the pool — a stale handle held after its
+// event fired or was cancelled can never observe, cancel, or resurrect
+// the recycled Event that now backs a different timer.
 package simclock
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -46,57 +53,56 @@ func (t Time) String() string { return fmt.Sprintf("%.3fs", float64(t)/float64(S
 // String formats a Duration as seconds with millisecond precision.
 func (d Duration) String() string { return fmt.Sprintf("%.3fs", float64(d)/float64(Second)) }
 
-// Event is a scheduled callback. It is returned by Schedule so that the
-// caller can cancel it before it fires.
+// Event is a pooled, heap-resident scheduled callback. Events are owned
+// by their Clock: once fired or cancelled, the object goes back to the
+// free list and is reused by a later Schedule. User code never holds an
+// *Event — Schedule returns a Timer handle carrying the generation the
+// event had when scheduled, and every handle operation checks it.
 type Event struct {
 	at    Time
 	seq   uint64
-	index int // heap index; -1 once removed or fired
+	index int    // heap index; -1 while on the free list
+	gen   uint64 // incremented on every recycle; Timers pin the value
 	fn    func()
 }
 
-// At reports the virtual time the event is scheduled for.
-func (e *Event) At() Time { return e.at }
+// Timer is a cancellable handle to a scheduled event. The zero Timer is
+// valid and permanently non-pending, so "no timer armed" needs no
+// sentinel. A Timer outliving its event is harmless: once the event
+// fires or is cancelled, the pool generation moves on and the stale
+// handle reports !Pending and cancels nothing — even if the underlying
+// Event object has been recycled into a live timer by then.
+type Timer struct {
+	e   *Event
+	gen uint64
+}
 
-// Pending reports whether the event is still queued.
-func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
+// Pending reports whether the timer's event is still queued.
+func (t Timer) Pending() bool { return t.e != nil && t.gen == t.e.gen && t.e.index >= 0 }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// At reports the virtual time the event is scheduled for, or zero if the
+// timer is no longer pending.
+func (t Timer) At() Time {
+	if !t.Pending() {
+		return 0
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	return t.e.at
 }
 
 // Clock is a virtual clock with an event queue. The zero value is not
 // ready to use; call New.
 type Clock struct {
 	now Time
-	pq  eventHeap
+	pq  []*Event // min-heap on (at, seq)
 	seq uint64
+
+	// free is the event pool. Its peak size is the clock's peak queue
+	// depth, so a simulation's total event allocations are bounded by its
+	// maximum concurrency, not its event count.
+	free []*Event
+	// nopool (test-only) disables recycling so property tests can compare
+	// pooled and unpooled kernels on identical schedules.
+	nopool bool
 }
 
 // New returns a Clock positioned at time zero with an empty event queue.
@@ -108,36 +114,61 @@ func (c *Clock) Now() Time { return c.now }
 // Len reports the number of pending events.
 func (c *Clock) Len() int { return len(c.pq) }
 
+// alloc takes an event from the free list, or the heap when it is empty.
+func (c *Clock) alloc() *Event {
+	if n := len(c.free); n > 0 {
+		e := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		return e
+	}
+	return &Event{}
+}
+
+// recycle retires a fired or cancelled event into the free list. The
+// generation bump is what invalidates every Timer handed out for this
+// incarnation of the object.
+func (c *Clock) recycle(e *Event) {
+	e.gen++
+	e.fn = nil
+	e.index = -1
+	if !c.nopool {
+		c.free = append(c.free, e)
+	}
+}
+
 // Schedule queues fn to run at the given virtual time. Scheduling in the
 // past (before Now) panics: a simulated subsystem that asks for the past
 // has a logic error that must not be silently reordered. Scheduling for
 // exactly Now is allowed and fires on the next Step.
-func (c *Clock) Schedule(at Time, fn func()) *Event {
+func (c *Clock) Schedule(at Time, fn func()) Timer {
 	if at < c.now {
 		panic(fmt.Sprintf("simclock: schedule at %v before now %v", at, c.now))
 	}
 	if fn == nil {
 		panic("simclock: schedule with nil callback")
 	}
-	e := &Event{at: at, seq: c.seq, fn: fn}
+	e := c.alloc()
+	e.at, e.seq, e.fn = at, c.seq, fn
 	c.seq++
-	heap.Push(&c.pq, e)
-	return e
+	c.push(e)
+	return Timer{e: e, gen: e.gen}
 }
 
 // After queues fn to run d from now. Negative d panics via Schedule.
-func (c *Clock) After(d Duration, fn func()) *Event {
+func (c *Clock) After(d Duration, fn func()) Timer {
 	return c.Schedule(c.now.Add(d), fn)
 }
 
-// Cancel removes a pending event from the queue. Cancelling a nil,
-// already-fired, or already-cancelled event is a no-op, so callers can
-// cancel unconditionally.
-func (c *Clock) Cancel(e *Event) {
-	if e == nil || e.index < 0 {
+// Cancel removes a pending event from the queue and recycles it.
+// Cancelling a zero, already-fired, or already-cancelled Timer is a
+// no-op, so callers can cancel unconditionally.
+func (c *Clock) Cancel(t Timer) {
+	if !t.Pending() {
 		return
 	}
-	heap.Remove(&c.pq, e.index)
+	c.remove(t.e.index)
+	c.recycle(t.e)
 }
 
 // Step fires the earliest pending event, advancing the clock to its
@@ -146,9 +177,7 @@ func (c *Clock) Step() bool {
 	if len(c.pq) == 0 {
 		return false
 	}
-	e := heap.Pop(&c.pq).(*Event)
-	c.now = e.at
-	e.fn()
+	c.fireMin()
 	return true
 }
 
@@ -161,9 +190,109 @@ func (c *Clock) Run(until Time) {
 		panic(fmt.Sprintf("simclock: run until %v before now %v", until, c.now))
 	}
 	for len(c.pq) > 0 && c.pq[0].at <= until {
-		c.Step()
+		c.fireMin()
 	}
 	c.now = until
+}
+
+// fireMin pops the heap root, recycles it, and runs its callback. The
+// event goes back to the pool before fn runs: the callback may schedule
+// new timers (they will happily reuse the just-retired object), and any
+// handle to the fired event is already invalidated by the generation
+// bump, so cancel-after-fire cannot touch the reused object.
+func (c *Clock) fireMin() {
+	e := c.pq[0]
+	c.now = e.at
+	fn := e.fn
+	c.popMin()
+	c.recycle(e)
+	fn()
+}
+
+// --- heap internals: an inline min-heap on (at, seq), equivalent to
+// container/heap on the old eventHeap but monomorphic — no interface
+// boxing, no indirect Less/Swap calls on the per-event path.
+
+// less orders the heap by scheduled time, FIFO within one instant.
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends e and restores the heap property upwards.
+func (c *Clock) push(e *Event) {
+	e.index = len(c.pq)
+	c.pq = append(c.pq, e)
+	c.siftUp(e.index)
+}
+
+// popMin removes the root (the earliest event) from the heap.
+func (c *Clock) popMin() {
+	last := len(c.pq) - 1
+	c.swap(0, last)
+	c.pq[last] = nil
+	c.pq = c.pq[:last]
+	if last > 0 {
+		c.siftDown(0)
+	}
+}
+
+// remove deletes the event at heap index i (Cancel's path).
+func (c *Clock) remove(i int) {
+	last := len(c.pq) - 1
+	if i != last {
+		c.swap(i, last)
+	}
+	c.pq[last] = nil
+	c.pq = c.pq[:last]
+	if i < last {
+		if !c.siftDown(i) {
+			c.siftUp(i)
+		}
+	}
+}
+
+func (c *Clock) swap(i, j int) {
+	c.pq[i], c.pq[j] = c.pq[j], c.pq[i]
+	c.pq[i].index = i
+	c.pq[j].index = j
+}
+
+func (c *Clock) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(c.pq[i], c.pq[parent]) {
+			break
+		}
+		c.swap(i, parent)
+		i = parent
+	}
+}
+
+// siftDown restores the heap property downwards from i, reporting
+// whether the element moved (mirrors container/heap's down, whose result
+// remove uses to decide between sifting directions).
+func (c *Clock) siftDown(i int) bool {
+	start := i
+	n := len(c.pq)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && eventLess(c.pq[right], c.pq[left]) {
+			least = right
+		}
+		if !eventLess(c.pq[least], c.pq[i]) {
+			break
+		}
+		c.swap(i, least)
+		i = least
+	}
+	return i > start
 }
 
 // Rand returns a deterministic pseudo-random source for the given seed.

@@ -63,15 +63,15 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	// Double-cancel and nil-cancel are no-ops.
+	// Double-cancel and zero-Timer cancel are no-ops.
 	c.Cancel(e)
-	c.Cancel(nil)
+	c.Cancel(Timer{})
 }
 
 func TestCancelMiddleOfHeap(t *testing.T) {
 	c := New()
 	var fired []int
-	var events []*Event
+	var events []Timer
 	for i := 0; i < 20; i++ {
 		i := i
 		events = append(events, c.Schedule(Time(i), func() { fired = append(fired, i) }))
@@ -242,7 +242,7 @@ func TestPropertyCancelSubset(t *testing.T) {
 	prop := func(offsets []uint16, mask []bool) bool {
 		c := New()
 		firedCount := 0
-		var evs []*Event
+		var evs []Timer
 		for _, off := range offsets {
 			evs = append(evs, c.Schedule(Time(off), func() { firedCount++ }))
 		}

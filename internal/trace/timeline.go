@@ -67,10 +67,16 @@ func Timeline(events []Event, from, to simclock.Time, width int) string {
 		case EventComponentOn:
 			onSince[e.Component] = e.At
 		case EventComponentOff:
-			if since, ok := onSince[e.Component]; ok {
-				paint(e.Component, since, e.At)
-				delete(onSince, e.Component)
+			since, ok := onSince[e.Component]
+			if !ok {
+				// An off with no matching on means the component was
+				// already powered when the event slice begins (a windowed
+				// slice of a longer trace): treat it as on since the start
+				// of the window rather than dropping the interval.
+				since = from
 			}
+			paint(e.Component, since, e.At)
+			delete(onSince, e.Component)
 		case EventDelivery:
 			if e.At < from || e.At > to {
 				continue

@@ -81,10 +81,23 @@ type Logger struct {
 
 // NewLogger returns a logger stamping events with the given clock.
 func NewLogger(clock *simclock.Clock) *Logger {
+	return NewLoggerSized(clock, 0)
+}
+
+// NewLoggerSized returns a logger whose event buffer is preallocated for
+// capacity events. Callers that can bound the event count from the
+// workload (the simulation layer estimates deliveries per hour) avoid
+// every growth reallocation in the logging hot path; a capacity <= 0 is
+// the same as NewLogger.
+func NewLoggerSized(clock *simclock.Clock, capacity int) *Logger {
 	if clock == nil {
 		panic("trace: NewLogger with nil clock")
 	}
-	return &Logger{clock: clock}
+	l := &Logger{clock: clock}
+	if capacity > 0 {
+		l.events = make([]Event, 0, capacity)
+	}
+	return l
 }
 
 // ComponentOn implements hw.TransitionListener.
@@ -119,8 +132,14 @@ func (l *Logger) Record(r alarm.Record) {
 	l.events = append(l.events, Event{At: l.clock.Now(), Kind: EventDelivery, Delivery: &r2})
 }
 
-// Events returns the log in chronological order.
-func (l *Logger) Events() []Event { return l.events }
+// Events returns a copy of the log in chronological order. It is a
+// snapshot: mutating the returned slice (or logging more events) does
+// not affect the other side. An earlier version returned the internal
+// slice, so a caller's sort-by-kind quietly reordered the logger's own
+// chronology out from under every later export.
+func (l *Logger) Events() []Event {
+	return append([]Event(nil), l.events...)
+}
 
 // Deliveries extracts just the delivery records.
 func (l *Logger) Deliveries() []alarm.Record {

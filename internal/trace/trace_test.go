@@ -195,6 +195,111 @@ func TestTimelineEdgeCases(t *testing.T) {
 	}
 }
 
+// TestEventsSnapshot: Events must return a copy. A caller sorting or
+// truncating the returned slice must not disturb the logger's own
+// chronology (the exports iterate the internal slice).
+func TestEventsSnapshot(t *testing.T) {
+	l := buildLog(t)
+	ev := l.Events()
+	if len(ev) == 0 {
+		t.Fatal("empty log")
+	}
+	first := ev[0]
+	for i := range ev {
+		ev[i] = Event{At: 12345, Kind: EventFault, Tag: "clobbered"}
+	}
+	again := l.Events()
+	if again[0] != first {
+		t.Fatalf("mutating Events() result corrupted the log: got %+v, want %+v", again[0], first)
+	}
+	// And the copies are independent of each other, too.
+	if ev[0] == again[0] {
+		t.Fatal("second snapshot aliased the first")
+	}
+}
+
+// TestLoggerSized: a preallocated logger behaves identically and never
+// reallocates within its declared capacity.
+func TestLoggerSized(t *testing.T) {
+	c := simclock.New()
+	l := NewLoggerSized(c, 64)
+	for i := 0; i < 64; i++ {
+		l.Fault("app", "probe")
+	}
+	if got := len(l.Events()); got != 64 {
+		t.Fatalf("logged %d events, want 64", got)
+	}
+	// capacity <= 0 degrades to the plain constructor.
+	if NewLoggerSized(c, 0) == nil || NewLoggerSized(c, -5) == nil {
+		t.Fatal("non-positive capacity rejected")
+	}
+}
+
+// TestTimelineOffWithoutOn: a windowed slice of a longer trace can open
+// with a component already powered — the first event for it is an off.
+// That interval must paint from the window start, not vanish.
+func TestTimelineOffWithoutOn(t *testing.T) {
+	events := []Event{
+		{At: simclock.Time(50 * simclock.Second), Kind: EventComponentOff, Component: hw.WiFi},
+	}
+	out := Timeline(events, 0, simclock.Time(100*simclock.Second), 20)
+	var wifiRow string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "Wi-Fi") {
+			wifiRow = l
+		}
+	}
+	if wifiRow == "" {
+		t.Fatalf("off-without-on dropped the component row:\n%s", out)
+	}
+	// Painted exactly over the first half: cells 0..10 of 20.
+	if got := strings.Count(wifiRow, "#"); got != 11 {
+		t.Fatalf("wifi row = %q, want 11 powered cells", wifiRow)
+	}
+	if !strings.HasSuffix(wifiRow, ".") {
+		t.Fatalf("wifi row painted past the off instant: %q", wifiRow)
+	}
+}
+
+// TestTimelineOffWithoutOnWidthOne: the degenerate single-cell chart
+// must not index out of range when the synthetic on-since-from interval
+// collapses into one cell.
+func TestTimelineOffWithoutOnWidthOne(t *testing.T) {
+	events := []Event{
+		{At: simclock.Time(5 * simclock.Second), Kind: EventComponentOff, Component: hw.GPS},
+	}
+	out := Timeline(events, 0, simclock.Time(10*simclock.Second), 1)
+	var row string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "GPS") {
+			row = l
+		}
+	}
+	if !strings.Contains(row, "#") {
+		t.Fatalf("width-1 off-without-on not painted:\n%s", out)
+	}
+}
+
+// TestTimelineOffExactlyAtWindowEnd: an off event landing exactly on
+// `to` is in-window (the chart's interval is inclusive) and paints all
+// the way to the right edge.
+func TestTimelineOffExactlyAtWindowEnd(t *testing.T) {
+	to := simclock.Time(100 * simclock.Second)
+	events := []Event{
+		{At: to, Kind: EventComponentOff, Component: hw.WiFi},
+	}
+	out := Timeline(events, 0, to, 10)
+	var row string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "Wi-Fi") {
+			row = l
+		}
+	}
+	if strings.Count(row, "#") != 10 {
+		t.Fatalf("off at window end: row = %q, want fully painted", row)
+	}
+}
+
 func TestCSVTaskRows(t *testing.T) {
 	c := simclock.New()
 	l := NewLogger(c)
