@@ -28,8 +28,11 @@ GO ?= go
 .PHONY: verify test cover fuzz bench bench-gate bench-baseline vet build serve docker
 
 # Kernel benchmark selection shared by bench, bench-baseline, and the
-# verify smoke; BENCHCOUNT repetitions feed benchgate's median.
+# verify smoke; BENCHCOUNT repetitions feed benchgate's median. The
+# backend benchmarks (histogram fold + server-queue replay: the fleet
+# aggregation hot path when the herd model is on) ride the same gate.
 KERNELBENCH = ./internal/simclock/ -run '^$$' -bench '^BenchmarkKernel' -benchmem
+BACKENDBENCH = ./internal/backend/ -run '^$$' -bench '^BenchmarkBackend' -benchmem
 BENCHCOUNT ?= 10
 
 # Fuzz budget per target in the verify smoke (Go runs one fuzz target
@@ -38,11 +41,11 @@ FUZZTIME ?= 10s
 
 # Coverage floor (percent) for the core packages.
 COVERMIN ?= 70
-COVERPKGS = ./internal/alarm/ ./internal/sim/ ./internal/fleet/
+COVERPKGS = ./internal/alarm/ ./internal/sim/ ./internal/fleet/ ./internal/backend/
 
 verify: vet build
 	$(GO) test -race ./...
-	$(GO) test -race -count=2 -run 'RunAll|RunTrials|CompareTrials|Sweep|GoldenRecordParity|Fleet|Concurrent|Drain|SSE|Daemon|PooledMatchesUnpooled|NoTraceParity' ./internal/simclock/ ./internal/sim/ ./internal/fleet/ ./internal/runstore/ ./internal/httpapi/ ./cmd/wakesimd/ .
+	$(GO) test -race -count=2 -run 'RunAll|RunTrials|CompareTrials|Sweep|GoldenRecordParity|Fleet|Concurrent|Drain|SSE|Daemon|PooledMatchesUnpooled|NoTraceParity|Backend|Herd|Readyz|Heartbeat' ./internal/simclock/ ./internal/sim/ ./internal/fleet/ ./internal/runstore/ ./internal/httpapi/ ./internal/backend/ ./cmd/wakesimd/ .
 	$(GO) test ./internal/apps/ -run '^$$' -fuzz '^FuzzSpecJSON$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/alarm/ -run '^$$' -fuzz '^FuzzQueueOps$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/fleet/ -run '^$$' -fuzz '^FuzzFleetSpec$$' -fuzztime $(FUZZTIME)
@@ -50,6 +53,7 @@ verify: vet build
 	$(MAKE) cover
 	$(GO) test ./internal/alarm/ -run '^$$' -bench 'Queue(Insert|Find|PopDue|Realign)' -benchtime=1x -short -timeout 10m
 	$(GO) test -race $(KERNELBENCH) -benchtime=1x -timeout 10m
+	$(GO) test -race $(BACKENDBENCH) -benchtime=1x -timeout 10m
 
 # cover fails if any core package's statement coverage drops below the
 # floor; the awk exit carries the verdict so the gate works without any
@@ -83,6 +87,7 @@ test:
 # stored baseline — the CI perf floor.
 bench-gate:
 	$(GO) test $(KERNELBENCH) -count=$(BENCHCOUNT) -timeout 30m | tee bench/current.txt
+	$(GO) test $(BACKENDBENCH) -count=$(BENCHCOUNT) -timeout 30m | tee -a bench/current.txt
 	$(GO) run ./cmd/benchgate -baseline bench/baseline.txt bench/current.txt
 
 # bench runs the gate plus the queue scaling benchmarks (informational,
@@ -94,6 +99,7 @@ bench: bench-gate
 # intentional, reviewed performance change.
 bench-baseline:
 	$(GO) test $(KERNELBENCH) -count=$(BENCHCOUNT) -timeout 30m | tee bench/baseline.txt
+	$(GO) test $(BACKENDBENCH) -count=$(BENCHCOUNT) -timeout 30m | tee -a bench/baseline.txt
 
 ADDR ?= :8080
 

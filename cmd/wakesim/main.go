@@ -5,7 +5,7 @@
 //
 //	wakesim [-policy SIMTY] [-workload light|heavy|table3] [-spec file.json]
 //	        [-hours 3] [-beta 0.96] [-seed 1] [-system] [-oneshots 6]
-//	        [-pushes 0] [-screens 0]
+//	        [-pushes 0] [-screens 0] [-backend] [-shed 0.05] [-alignedphases]
 //	        [-leak apps] [-leaknever apps] [-storm app:period_s[:count]]
 //	        [-trace out.csv] [-json out.json] [-timeline MIN] [-anomaly]
 //	        [-toempty] [-notrace] [-v]
@@ -31,6 +31,15 @@
 // Fleet runs always use the fast mode (their aggregate is streamed), so
 // -notrace is redundant there and rejected.
 //
+// -backend co-simulates the push/sync backend (see internal/backend):
+// every wake pays a reconnect latency, Wi-Fi deliveries become backend
+// requests, -shed sets the client-perceived shed probability that drives
+// the retry pipeline, and the summary gains the device's request
+// counters plus a server-queue replay of its arrival stream.
+// -alignedphases installs every app at phase offset = its period — the
+// synchronized update-wave scenario the herd experiment studies. In
+// fleet mode both knobs live in the fleet spec JSON instead.
+//
 // The fault flags inject deterministic misbehaviour (see internal/fault):
 // -leak holds the named apps' wakelocks past release, -leaknever never
 // releases them, and -storm adds a runaway app re-registering a short
@@ -54,6 +63,7 @@ import (
 
 	"repro/internal/anomaly"
 	"repro/internal/apps"
+	"repro/internal/backend"
 	"repro/internal/fault"
 	"repro/internal/fleet"
 	"repro/internal/hw"
@@ -95,6 +105,9 @@ type options struct {
 	fleet     int
 	fleetSpec string
 	workers   int
+	backend   bool
+	shed      float64
+	aligned   bool
 }
 
 // registerFlags binds the options to a FlagSet with their defaults.
@@ -123,6 +136,9 @@ func registerFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.fleet, "fleet", 0, "simulate a fleet of N heterogeneous devices instead of one run")
 	fs.StringVar(&o.fleetSpec, "fleetspec", "", "load the fleet population spec from a JSON file (see internal/fleet)")
 	fs.IntVar(&o.workers, "workers", 0, "fleet worker pool size (0 = GOMAXPROCS)")
+	fs.BoolVar(&o.backend, "backend", false, "co-simulate the push/sync backend (reconnect latency, retry pipeline, server queue)")
+	fs.Float64Var(&o.shed, "shed", 0, "backend client-perceived shed rate in [0, 1) (requires -backend)")
+	fs.BoolVar(&o.aligned, "alignedphases", false, "install every app at phase offset = its period (the update-wave herd scenario)")
 	return o
 }
 
@@ -147,7 +163,8 @@ func (o *options) validate(explicit map[string]bool) error {
 		// Fleet mode samples its own per-device workloads, rates, and
 		// faults; flags that configure one concrete run conflict with it.
 		for _, f := range []string{"workload", "spec", "toempty", "trace", "timeline",
-			"anomaly", "leak", "leaknever", "storm", "pushes", "screens", "oneshots", "system", "v"} {
+			"anomaly", "leak", "leaknever", "storm", "pushes", "screens", "oneshots", "system", "v",
+			"backend", "shed", "alignedphases"} {
 			if explicit[f] {
 				return fmt.Errorf("-%s does not apply to a fleet run: the fleet spec describes the population", f)
 			}
@@ -182,6 +199,12 @@ func (o *options) validate(explicit map[string]bool) error {
 	}
 	if o.timeline < 0 {
 		return fmt.Errorf("-timeline %d: want a non-negative minute count", o.timeline)
+	}
+	if explicit["shed"] && !o.backend {
+		return fmt.Errorf("-shed requires -backend: the shed rate parameterizes the backend model")
+	}
+	if !(o.shed >= 0 && o.shed < 1) {
+		return fmt.Errorf("-shed %v: the shed rate must lie in [0, 1)", o.shed)
 	}
 	if o.noTrace {
 		if o.fleetMode() {
@@ -285,7 +308,7 @@ func (o *options) config(specs []apps.Spec, name string) (sim.Config, error) {
 	if err != nil {
 		return sim.Config{}, err
 	}
-	return sim.Config{
+	cfg := sim.Config{
 		Name:                  name,
 		Policy:                o.policy,
 		Workload:              specs,
@@ -299,7 +322,12 @@ func (o *options) config(specs []apps.Spec, name string) (sim.Config, error) {
 		Faults:                plan,
 		NoTrace:               o.noTrace,
 		CollectTrace:          o.traceCSV != "" || o.traceJSON != "" || o.detect || o.timeline > 0,
-	}, nil
+		AlignedPhases:         o.aligned,
+	}
+	if o.backend {
+		cfg.Backend = &backend.Model{ShedRate: o.shed, Seed: o.seed}
+	}
+	return cfg, nil
 }
 
 func main() {
@@ -367,6 +395,13 @@ func (o *options) run(w io.Writer) error {
 		r.Delays.PerceptibleMean*100, r.Delays.ImperceptibleMean*100)
 	if gaps := r.WakeGaps; gaps.N > 0 {
 		fmt.Fprintf(w, "wakeup spacing: min %v, mean %.1fs, max %v\n", gaps.Min, gaps.Mean, gaps.Max)
+	}
+	if b := r.Backend; b != nil {
+		fmt.Fprintf(w, "backend: %d requests (+%d retries), shed %d → redelivered %d, dropped %d, pending %d; %d reconnects\n",
+			b.Requests, b.Retries, b.Shed, b.Redelivered, b.Dropped, b.Pending, b.Reconnects)
+		bs := backend.Serve(b.Hist, *cfg.Backend)
+		fmt.Fprintf(w, "backend load: peak %d arrivals/bucket at %v (%v buckets), server shed %d, max backlog %d\n",
+			bs.PeakArrivals, bs.PeakAt, bs.BucketWidth, bs.ServerShed, bs.MaxBacklog)
 	}
 	if len(r.FaultEvents) > 0 {
 		fmt.Fprintf(w, "injected faults: %d event(s)\n", len(r.FaultEvents))

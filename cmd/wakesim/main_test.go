@@ -94,6 +94,15 @@ func TestValidateFlagCombinations(t *testing.T) {
 		{"notrace with anomaly", []string{"-notrace", "-anomaly"}, "-anomaly"},
 		{"notrace with verbose", []string{"-notrace", "-v"}, "-v"},
 		{"notrace with fleet", []string{"-fleet", "10", "-notrace"}, "-notrace"},
+
+		{"backend alone", []string{"-backend"}, ""},
+		{"backend with shed", []string{"-backend", "-shed", "0.1"}, ""},
+		{"backend with jitter policy", []string{"-backend", "-alignedphases", "-policy", "SIMTY-J"}, ""},
+		{"shed without backend", []string{"-shed", "0.1"}, "-shed requires -backend"},
+		{"shed out of range", []string{"-backend", "-shed", "1"}, "-shed"},
+		{"negative shed", []string{"-backend", "-shed", "-0.1"}, "-shed"},
+		{"backend with fleet", []string{"-fleet", "10", "-backend"}, "-backend"},
+		{"alignedphases with fleet", []string{"-fleet", "10", "-alignedphases"}, "-alignedphases"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

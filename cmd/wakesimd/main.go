@@ -15,12 +15,16 @@
 //	GET    /fleets/{id}/events SSE: live progress + aggregate snapshots
 //	DELETE /fleets/{id}        cancel
 //	GET    /healthz            liveness
+//	GET    /readyz             readiness (503 while draining)
 //
 // At most -maxruns simulations execute at once; excess submissions
 // queue. On SIGTERM/SIGINT the daemon stops accepting work, waits up to
 // -drain for in-flight runs to finish (cancelling stragglers at the
 // deadline), then closes the listener — a supervisor restart never
-// tears down a half-aggregated fleet silently.
+// tears down a half-aggregated fleet silently. During that drain
+// window /readyz answers 503 while /healthz stays 200, so a load
+// balancer stops routing new work without the supervisor declaring the
+// daemon dead mid-drain.
 package main
 
 import (

@@ -211,6 +211,72 @@ func TestDaemonDrainDeadlineCancelsInFlight(t *testing.T) {
 	}
 }
 
+// TestDaemonReadyzDuringDrain covers the readiness contract end to end:
+// /readyz answers 200 while the daemon accepts work, flips to 503 for
+// the whole drain window after shutdown begins (while /healthz stays
+// 200 — the daemon is alive, mid-drain, just out of rotation), and the
+// daemon still exits cleanly.
+func TestDaemonReadyzDuringDrain(t *testing.T) {
+	o := parse(t, "-drain", "3s")
+	base, cancel, errc := startDaemon(t, o, io.Discard)
+	defer cancel()
+
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz before shutdown = %d, want 200", resp.StatusCode)
+	}
+
+	// Park a fleet big enough to outlive the drain deadline, so the
+	// drain window is wide open for probing.
+	resp, err = http.Post(base+"/fleets", "application/json",
+		strings.NewReader(`{"devices": 1000000, "seed": 1, "hours": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /fleets = %d", resp.StatusCode)
+	}
+	time.Sleep(100 * time.Millisecond) // let the fleet actually start
+	cancel()
+
+	// The listener stays up through the drain, so the probe must flip
+	// to 503 while liveness holds; connection errors only become
+	// acceptable once the (post-drain) listener close begins.
+	saw503 := false
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && !saw503 {
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			break // listener already closed
+		}
+		status := resp.StatusCode
+		resp.Body.Close()
+		if status == http.StatusServiceUnavailable {
+			saw503 = true
+			hresp, err := http.Get(base + "/healthz")
+			if err != nil {
+				t.Fatalf("healthz unreachable while readyz answers: %v", err)
+			}
+			hstatus := hresp.StatusCode
+			hresp.Body.Close()
+			if hstatus != http.StatusOK {
+				t.Fatalf("healthz during drain = %d, want 200", hstatus)
+			}
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if !saw503 {
+		t.Fatal("readyz never answered 503 during the drain window")
+	}
+	waitExit(t, errc, 30*time.Second)
+}
+
 type writerFunc func([]byte) (int, error)
 
 func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

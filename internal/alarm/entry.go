@@ -28,6 +28,10 @@ type Entry struct {
 	HW hw.Set
 	// Perceptible reports whether any member is perceptible.
 	Perceptible bool
+	// Offset shifts the delivery time of an imperceptible entry (set by
+	// Queue.Insert when the policy implements Offsetter; zero otherwise).
+	// Perceptible entries ignore it: their window guarantees are hard.
+	Offset simclock.Duration
 
 	// exact caches whether any member is an exact alarm (zero window),
 	// so policies can test it per entry without rescanning members.
@@ -103,6 +107,9 @@ func (e *Entry) remove(id string) bool {
 func (e *Entry) DeliveryTime() simclock.Time {
 	if e.Perceptible {
 		return e.WinStart
+	}
+	if e.Offset > 0 {
+		return e.GraceStart.Add(e.Offset)
 	}
 	return e.GraceStart
 }

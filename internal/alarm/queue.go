@@ -191,17 +191,26 @@ func (q *Queue) Insert(a *Alarm, p Policy, now simclock.Time) *Entry {
 	if q.byID[a.ID] != nil {
 		q.Remove(a.ID)
 	}
+	o, _ := p.(Offsetter)
 	idx := p.Select(q.entries, a, now)
 	var e *Entry
 	if idx >= 0 && idx < len(q.entries) {
 		e = q.entries[idx]
 		e.add(a)
+		if o != nil {
+			// Membership changed (the entry may have turned perceptible),
+			// so the offset is re-evaluated before the order fix below.
+			e.Offset = o.EntryOffset(e)
+		}
 		// Joining can only move the delivery time later (it is the
 		// latest member nominal); restore order positionally.
 		q.fixPosition(idx)
 	} else {
 		// idx == -1, or the policy's fallback for an out-of-range pick.
 		e = newEntry(a)
+		if o != nil {
+			e.Offset = o.EntryOffset(e)
+		}
 		q.insertEntry(e)
 	}
 	if q.byID == nil {

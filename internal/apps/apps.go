@@ -146,6 +146,12 @@ type Runtime struct {
 	// Rng staggers app registration phases, as real apps start at
 	// arbitrary times.
 	Rng *rand.Rand
+	// AlignedPhases installs every app at the deterministic phase
+	// offset = its period instead of a random stagger, so devices
+	// sharing a catalog land on the same period grids — the canonical
+	// thundering-herd fleet (a reboot/update wave synchronizing sync
+	// schedules) that the backend co-simulation stresses.
+	AlignedPhases bool
 	// Jitter randomizes each task's duration uniformly within
 	// [1−Jitter, 1+Jitter]× its nominal value, modelling the paper's
 	// observation that achievable data rates "vary widely over time"
@@ -232,7 +238,7 @@ func (r *Runtime) Install(specs []Spec) error {
 			return fmt.Errorf("apps: install %s: non-positive period %v", s.Name, s.Period)
 		}
 		offset := s.Period
-		if r.Rng != nil {
+		if r.Rng != nil && !r.AlignedPhases {
 			offset = simclock.Duration(1 + r.Rng.Int63n(int64(s.Period)))
 		}
 		if r.Faults != nil {

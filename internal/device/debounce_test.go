@@ -1,0 +1,45 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+// TestDebounceStretchesAwakeHold pins the suspend guard: with a debounce
+// window set, the device refuses to re-doze until lastWake+debounce, even
+// though the profile's AwakeHold (500 ms) has long expired.
+func TestDebounceStretchesAwakeHold(t *testing.T) {
+	c := simclock.New()
+	d := New(c, fixedProfile(), 1)
+	d.SetDebounce(10 * sec)
+	d.ExecuteWake(func() {})
+
+	// Wake completes at 0.5 s (fixed latency); AwakeHold alone would doze
+	// at 1.0 s.
+	c.Run(simclock.Time(5 * sec))
+	if !d.Awake() {
+		t.Fatal("device dozed inside the debounce window")
+	}
+	c.Run(simclock.Time(12 * sec))
+	if d.Awake() {
+		t.Fatal("device still awake after the debounce window expired")
+	}
+}
+
+// TestZeroDebounceKeepsNativeHold pins the parity-critical default: with
+// no debounce the sleep timing is exactly the profile's AwakeHold.
+func TestZeroDebounceKeepsNativeHold(t *testing.T) {
+	c := simclock.New()
+	d := New(c, fixedProfile(), 1)
+	d.ExecuteWake(func() {})
+	// Wake at 0.5 s + hold 0.5 s: asleep just after 1 s.
+	c.Run(simclock.Time(900 * simclock.Millisecond))
+	if !d.Awake() {
+		t.Fatal("dozed before AwakeHold expired")
+	}
+	c.Run(simclock.Time(1100 * simclock.Millisecond))
+	if d.Awake() {
+		t.Fatal("still awake after AwakeHold expired")
+	}
+}

@@ -46,6 +46,13 @@ type Device struct {
 	tasksActive int
 	sleepTimer  simclock.Timer
 
+	// debounce is the suspend guard: after a wake completes the device
+	// will not re-doze within this window (idleCheck stretches its hold
+	// accordingly). Zero — the default — leaves the sleep arithmetic
+	// exactly as it was, which the golden parity tests rely on.
+	debounce simclock.Duration
+	lastWake simclock.Time
+
 	// onTask, when set, observes task lifecycle: it is called with
 	// start=true when a task's wakelocks are acquired and start=false
 	// when they are released. The tag identifies the task's owner, like
@@ -136,8 +143,14 @@ func (d *Device) wakeLatency() simclock.Duration {
 	return lo + simclock.Duration(d.rng.Int63n(int64(hi-lo)+1))
 }
 
+// SetDebounce installs the suspend guard: after each completed wake the
+// device stays up for at least d beyond the wake instant, debouncing
+// wake/sleep flapping (e.g. under retry storms). Zero disables it.
+func (d *Device) SetDebounce(dur simclock.Duration) { d.debounce = dur }
+
 func (d *Device) finishWake() {
 	d.st = awake
+	d.lastWake = d.clock.Now()
 	for _, fn := range d.onWake {
 		fn()
 	}
@@ -242,7 +255,13 @@ func (d *Device) idleCheck() {
 	if d.st != awake || d.tasksActive > 0 || d.sleepTimer.Pending() {
 		return
 	}
-	d.sleepTimer = d.clock.After(d.profile.AwakeHold, func() {
+	hold := d.profile.AwakeHold
+	if d.debounce > 0 {
+		if until := d.lastWake.Add(d.debounce); until > d.clock.Now().Add(hold) {
+			hold = until.Sub(d.clock.Now())
+		}
+	}
+	d.sleepTimer = d.clock.After(hold, func() {
 		d.sleepTimer = simclock.Timer{}
 		if d.st == awake && d.tasksActive == 0 {
 			d.st = asleep

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"repro/internal/backend"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -76,6 +77,12 @@ type PolicySummary struct {
 	// MaxPerceptibleDelay is the largest normalized perceptible delay
 	// observed anywhere in the fleet.
 	MaxPerceptibleDelay float64 `json:"max_perceptible_delay"`
+	// Backend is the backend-load aggregate under this policy: the
+	// folded retry-pipeline counters plus the server-queue replay of the
+	// fleet's merged request arrivals. Nil — and absent from the JSON —
+	// when the spec carries no backend model, so pre-backend summaries
+	// hash unchanged.
+	Backend *backend.Summary `json:"backend,omitempty"`
 }
 
 // SavingsSummary is the JSON snapshot of the per-device base-vs-test
@@ -110,10 +117,19 @@ type policyAcc struct {
 	energy, standby, wakeups, imperc *acc
 	perceptibleLate, graceLate       int
 	maxPerceptibleDelay              float64
+	// bk folds the per-run backend counters; hist merges the per-run
+	// arrival histograms (exact integer adds, so any fold order agrees).
+	// Both stay nil while the spec carries no backend model.
+	bk   backend.DeviceStats
+	hist *backend.Histogram
 }
 
-func newPolicyAcc() *policyAcc {
-	return &policyAcc{energy: newAcc(), standby: newAcc(), wakeups: newAcc(), imperc: newAcc()}
+func newPolicyAcc(m *backend.Model) *policyAcc {
+	p := &policyAcc{energy: newAcc(), standby: newAcc(), wakeups: newAcc(), imperc: newAcc()}
+	if m != nil {
+		p.hist = backend.NewHistogram(m.WithDefaults().BucketWidth)
+	}
+	return p
 }
 
 // observe folds one finished run into the policy's accumulators. The
@@ -132,10 +148,14 @@ func (p *policyAcc) observe(r *sim.Result) {
 	if g.MaxPerceptibleDelay > p.maxPerceptibleDelay {
 		p.maxPerceptibleDelay = g.MaxPerceptibleDelay
 	}
+	if p.hist != nil && r.Backend != nil {
+		p.bk.Merge(r.Backend)
+		p.hist.Merge(r.Backend.Hist)
+	}
 }
 
-func (p *policyAcc) summary() PolicySummary {
-	return PolicySummary{
+func (p *policyAcc) summary(m *backend.Model) PolicySummary {
+	ps := PolicySummary{
 		EnergyMJ:            p.energy.dist(),
 		StandbyHours:        p.standby.dist(),
 		Wakeups:             p.wakeups.dist(),
@@ -144,6 +164,19 @@ func (p *policyAcc) summary() PolicySummary {
 		GraceLate:           p.graceLate,
 		MaxPerceptibleDelay: p.maxPerceptibleDelay,
 	}
+	if m != nil && p.hist != nil {
+		// Replay the fleet's merged arrivals through the server queue,
+		// then attach the folded device-side counters.
+		bs := backend.Serve(p.hist, *m)
+		bs.Requests = p.bk.Requests
+		bs.Shed = p.bk.Shed
+		bs.Retries = p.bk.Retries
+		bs.Redelivered = p.bk.Redelivered
+		bs.Dropped = p.bk.Dropped
+		bs.Pending = p.bk.Pending
+		ps.Backend = &bs
+	}
+	return ps
 }
 
 // Aggregate is the streaming fleet aggregate: O(1) space in the number
@@ -159,7 +192,7 @@ type Aggregate struct {
 func newAggregate(spec Spec) *Aggregate {
 	return &Aggregate{
 		spec: spec,
-		base: newPolicyAcc(), test: newPolicyAcc(),
+		base: newPolicyAcc(spec.Backend), test: newPolicyAcc(spec.Backend),
 		total: newAcc(), awake: newAcc(), standby: newAcc(), wakeup: newAcc(),
 	}
 }
@@ -191,8 +224,8 @@ func (a *Aggregate) Summary() Summary {
 		Hours:      s.Hours,
 		BasePolicy: s.BasePolicy,
 		TestPolicy: s.TestPolicy,
-		Base:       a.base.summary(),
-		Test:       a.test.summary(),
+		Base:       a.base.summary(s.Backend),
+		Test:       a.test.summary(s.Backend),
 		Savings: SavingsSummary{
 			Total:            a.total.dist(),
 			Awake:            a.awake.dist(),

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 
 	"repro/internal/apps"
+	"repro/internal/backend"
 	"repro/internal/fault"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -140,6 +141,16 @@ type Spec struct {
 	// never postpones a perceptible alarm" — set this to isolate policy
 	// behaviour from hardware resume time.
 	ZeroWakeLatency bool `json:"zero_wake_latency,omitempty"`
+	// Backend, when non-nil, enables the backend co-simulation on every
+	// device (reconnect latency, retry pipeline, suspend guard) and adds
+	// the server-queue replay of the fleet's merged request arrivals to
+	// each policy's summary (see internal/backend). Nil keeps the fleet
+	// aggregate byte-identical to the pre-backend layout.
+	Backend *backend.Model `json:"backend,omitempty"`
+	// AlignedPhases installs every app at phase offset = its period on
+	// every device, synchronizing the fleet's sync schedules — the
+	// thundering-herd scenario the herd experiment measures.
+	AlignedPhases bool `json:"aligned_phases,omitempty"`
 }
 
 // withDefaults fills zero fields with the documented defaults.
@@ -206,6 +217,11 @@ func (s Spec) Validate() error {
 	}
 	if math.IsNaN(s.LeakFraction) || s.LeakFraction < 0 || s.LeakFraction > 1 {
 		return fmt.Errorf("fleet: leak fraction %v outside [0, 1]", s.LeakFraction)
+	}
+	if s.Backend != nil {
+		if err := s.Backend.Validate(); err != nil {
+			return fmt.Errorf("fleet: %w", err)
+		}
 	}
 	return nil
 }
@@ -319,6 +335,8 @@ func (s Spec) Config(d Device, policy string) sim.Config {
 		ScreenSessionsPerHour: d.ScreensPerHour,
 		TaskJitter:            d.TaskJitter,
 		ZeroWakeLatency:       s.ZeroWakeLatency,
+		Backend:               s.Backend,
+		AlignedPhases:         s.AlignedPhases,
 	}
 	if d.BatteryScale != 1 {
 		p := *power.Nexus5()

@@ -18,6 +18,7 @@
 //	GET    /fleets/{id}/events SSE: per-run + per-device progress,
 //	                           aggregate snapshots, final summary
 //	GET    /healthz            liveness + store occupancy
+//	GET    /readyz             readiness: 503 once the store is draining
 package httpapi
 
 import (
@@ -26,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/fleet"
 	"repro/internal/runstore"
@@ -42,7 +44,18 @@ type Options struct {
 	SnapshotEvery int
 	// MaxBody bounds request bodies in bytes; ≤ 0 means 1 MiB.
 	MaxBody int64
+	// Heartbeat is the idle interval between SSE keep-alive comment
+	// frames; ≤ 0 means DefaultHeartbeat. A queued run publishes
+	// nothing until a slot frees, and proxies tear down streams that
+	// stay byte-silent — the comment frames keep the connection alive
+	// without adding events a client has to parse.
+	Heartbeat time.Duration
 }
+
+// DefaultHeartbeat is the idle SSE keep-alive interval when
+// Options.Heartbeat is unset: short enough for common proxy idle
+// timeouts (30–60 s), long enough to cost nothing.
+const DefaultHeartbeat = 15 * time.Second
 
 // Server routes the HTTP surface onto a run store.
 type Server struct {
@@ -57,6 +70,9 @@ func New(store *runstore.Store, opts Options) *Server {
 	if opts.MaxBody <= 0 {
 		opts.MaxBody = 1 << 20
 	}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = DefaultHeartbeat
+	}
 	s := &Server{store: store, opts: opts, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /runs", s.submitRun)
 	s.mux.HandleFunc("POST /fleets", s.submitFleet)
@@ -69,6 +85,7 @@ func New(store *runstore.Store, opts Options) *Server {
 	s.mux.HandleFunc("GET /runs/{id}/events", s.events("run"))
 	s.mux.HandleFunc("GET /fleets/{id}/events", s.events("fleet"))
 	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /readyz", s.readyz)
 	return s
 }
 
@@ -266,4 +283,18 @@ func (s *Server) cancel(kind string) http.HandlerFunc {
 
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "active": s.store.Active()})
+}
+
+// readyz is the readiness probe: distinct from /healthz (liveness)
+// because a draining daemon is still alive — in-flight runs keep
+// executing and their SSE streams keep flowing — but must stop
+// receiving new traffic. 503 flips as soon as the store closes, the
+// whole shutdown-grace window before the listener goes away.
+func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
+	if s.store.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"ready": false, "draining": true, "active": s.store.Active()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true, "active": s.store.Active()})
 }

@@ -549,6 +549,117 @@ func TestListAndHealth(t *testing.T) {
 	}
 }
 
+// TestSSEHeartbeatOnIdleStream: a queued run publishes nothing until an
+// execution slot frees, so its event stream goes byte-silent — exactly
+// what idle-timeout proxies kill. The stream must carry ": heartbeat"
+// comment frames through the silence, and the terminal frames must
+// still arrive once the run executes: keep-alives never displace the
+// guaranteed "done" delivery.
+func TestSSEHeartbeatOnIdleStream(t *testing.T) {
+	store := runstore.New(1)
+	ts := httptest.NewServer(New(store, Options{Heartbeat: 20 * time.Millisecond}))
+	t.Cleanup(func() {
+		ts.Close()
+		store.CancelAll()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		store.Drain(ctx)
+	})
+
+	// Park a huge fleet in the only slot, then queue a quick run behind
+	// it: the queued run's stream stays idle for as long as we need.
+	_, parked := post(t, ts.URL+"/fleets", `{"devices": 1000000, "seed": 1, "hours": 1}`)
+	_, queued := post(t, ts.URL+"/runs", `{"workload": "light", "hours": 0.1, "seed": 2}`)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/runs/"+queued.ID+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET events = %d", resp.StatusCode)
+	}
+
+	heartbeats, sawDone, released := 0, false, false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		switch line := sc.Text(); {
+		case line == ": heartbeat":
+			heartbeats++
+		case strings.HasPrefix(line, "event: done"):
+			sawDone = true
+		}
+		if heartbeats >= 3 && !released {
+			// Silence observed; free the slot so the queued run can
+			// execute and the stream can end with its terminal frames.
+			released = true
+			del, _ := http.NewRequest(http.MethodDelete, ts.URL+"/fleets/"+parked.ID, nil)
+			dresp, err := http.DefaultClient.Do(del)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dresp.Body.Close()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("tail events: %v", err)
+	}
+	if heartbeats < 3 {
+		t.Fatalf("idle stream carried %d heartbeats, want >= 3", heartbeats)
+	}
+	if !sawDone {
+		t.Fatal("stream ended without the terminal done frame")
+	}
+	if e := waitTerminal(t, ts.URL+"/runs/"+queued.ID); e.State != runstore.StateDone {
+		t.Fatalf("queued run landed in %s (%s), want done", e.State, e.Error)
+	}
+}
+
+// TestReadyzFlipsOnDrain: /readyz is the readiness probe — 200 while
+// the store accepts work, 503 the moment it starts draining — while
+// /healthz (liveness) stays 200 throughout, so a load balancer can pull
+// a draining daemon out of rotation without the supervisor killing it.
+func TestReadyzFlipsOnDrain(t *testing.T) {
+	store := runstore.New(1)
+	ts := httptest.NewServer(New(store, Options{}))
+	defer ts.Close()
+
+	var ready struct {
+		Ready    bool `json:"ready"`
+		Draining bool `json:"draining"`
+	}
+	if status, _ := getJSON(t, ts.URL+"/readyz", &ready); status != http.StatusOK || !ready.Ready {
+		t.Fatalf("readyz before drain = %d %+v, want 200 ready", status, ready)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	store.Drain(ctx)
+
+	status, blob := getJSON(t, ts.URL+"/readyz", nil)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d (%s), want 503", status, blob)
+	}
+	if err := json.Unmarshal(blob, &ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Ready || !ready.Draining {
+		t.Fatalf("readyz body while draining = %+v", ready)
+	}
+
+	// Liveness is unaffected: the daemon is healthy, just not accepting.
+	var health struct {
+		OK bool `json:"ok"`
+	}
+	if status, _ := getJSON(t, ts.URL+"/healthz", &health); status != http.StatusOK || !health.OK {
+		t.Fatalf("healthz while draining = %d %+v, want 200 ok", status, health)
+	}
+}
+
 // TestSubmitAfterDrainRejected: a draining store answers 503, the
 // shutdown contract the daemon relies on.
 func TestSubmitAfterDrainRejected(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/fleet"
 	"repro/internal/runstore"
@@ -26,6 +27,12 @@ import (
 // ahead; ordering is preserved, so "done" counters stay strictly
 // monotonic), but the final snapshot and "done" frame are guaranteed
 // and the final snapshot is exactly the stored result.
+//
+// While the stream is idle (a queued run waiting for a slot, a long
+// shard between folds) a keep-alive comment frame (": heartbeat") goes
+// out every Options.Heartbeat so idle-timeout proxies don't sever the
+// stream; comments are invisible to SSE clients, so the event protocol
+// above is unchanged.
 func (s *Server) events(kind string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if _, ok := s.lookup(w, r, kind); !ok {
@@ -58,11 +65,20 @@ func (s *Server) events(kind string) http.HandlerFunc {
 		writeSSE(w, "state", stateFrame(run))
 		flusher.Flush()
 
+		heartbeat := time.NewTimer(s.opts.Heartbeat)
+		defer heartbeat.Stop()
 		for {
 			select {
 			case ev := <-events:
 				writeSSE(w, ev.Type, ev.Data)
 				flusher.Flush()
+				resetTimer(heartbeat, s.opts.Heartbeat)
+			case <-heartbeat.C:
+				// Comment frame: keeps the TCP connection warm through
+				// proxies, invisible to EventSource consumers.
+				fmt.Fprint(w, ": heartbeat\n\n")
+				flusher.Flush()
+				heartbeat.Reset(s.opts.Heartbeat)
 			case <-done:
 				// Flush whatever the fold loop published before the end,
 				// then the authoritative terminal frames.
@@ -90,6 +106,19 @@ func (s *Server) events(kind string) http.HandlerFunc {
 			}
 		}
 	}
+}
+
+// resetTimer rearms a timer that may or may not have fired: the fired
+// case needs its channel drained first, or the stale tick would fire a
+// spurious heartbeat right after a real event.
+func resetTimer(t *time.Timer, d time.Duration) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	t.Reset(d)
 }
 
 // stateFrame is the payload of "state" and "done" frames built from a

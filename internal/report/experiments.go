@@ -88,6 +88,7 @@ func All() []Experiment {
 		{"scaling", "standby vs number of resident apps (§1's motivation)", Scaling},
 		{"robustness", "savings under injected wakelock leaks and alarm storms", Robustness},
 		{"fleet", "savings distribution across 10k heterogeneous devices (streaming aggregates)", Fleet},
+		{"herd", "thundering herd: backend peak load and overload, NATIVE vs SIMTY vs SIMTY-J", Herd},
 	}
 }
 

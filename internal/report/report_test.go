@@ -70,7 +70,7 @@ func TestCSVQuoting(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
+	if len(all) != 13 {
 		t.Fatalf("experiments = %d", len(all))
 	}
 	seen := map[string]bool{}

@@ -347,6 +347,16 @@ func (s *Store) CancelAll() {
 	}
 }
 
+// Draining reports whether Close (or Drain) has been called: the store
+// rejects new submissions and is waiting for in-flight work to land.
+// Readiness probes key off this — a draining daemon must fail /readyz
+// so load balancers stop routing to it before the listener closes.
+func (s *Store) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 // Active counts runs not yet in a terminal state.
 func (s *Store) Active() int {
 	n := 0

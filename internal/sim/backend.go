@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/alarm"
+	"repro/internal/backend"
+	"repro/internal/device"
+	"repro/internal/hw"
+	"repro/internal/simclock"
+)
+
+// retryTaskDur is the Wi-Fi burst one retry attempt costs, matching the
+// short sync a shed delivery repeats (the same scale as a GCM push).
+const retryTaskDur = simclock.Second
+
+// backendClient is the device-side half of the backend co-simulation:
+// it watches the run's delivery stream, turns every Wi-Fi delivery into
+// a backend request, and simulates the resume sequence around it —
+// reconnect latency after each wake, client-perceived shedding, and the
+// capped-backoff retry pipeline. It draws from two dedicated RNG
+// streams (seed+5 reconnect, seed+6 shed/jitter), so a run with the
+// backend model off consumes exactly the streams it always did and the
+// golden parity tests hold byte for byte.
+type backendClient struct {
+	model backend.Model // defaults applied
+	clock *simclock.Clock
+	dev   *device.Device
+	recon *rand.Rand // seed+5: reconnect latency
+	shed  *rand.Rand // seed+6: shed draws and retry jitter
+
+	// netReady is when the current wake session's network comes up;
+	// requests delivered before it queue until reconnect completes.
+	netReady simclock.Time
+
+	stats backend.DeviceStats
+
+	// onAttempt, when set (tests), observes every attempt: the arrival
+	// instant after reconnect gating, the attempt index (0 = first), and
+	// whether the attempt was shed.
+	onAttempt func(at simclock.Time, attempt int, shed bool)
+}
+
+// newBackendClient wires the client against the device. The caller must
+// subscribe onWake *before* the alarm manager is constructed, so that
+// reconnect state is armed before the manager's wake-flush deliveries
+// are observed.
+func newBackendClient(clock *simclock.Clock, dev *device.Device, m backend.Model, seed int64) *backendClient {
+	c := &backendClient{
+		model: m.WithDefaults(),
+		clock: clock,
+		dev:   dev,
+		recon: simclock.Rand(seed + 5),
+		shed:  simclock.Rand(seed + 6),
+	}
+	c.stats.Hist = backend.NewHistogram(c.model.BucketWidth)
+	dev.OnWake(c.onWake)
+	dev.SetDebounce(c.model.Debounce)
+	return c
+}
+
+// onWake runs after every completed sleep→awake transition: the device
+// re-associates with the network, paying the reconnect latency as a
+// Wi-Fi task (energy plus serialization — sync tasks issued during the
+// wake queue behind it on the Wi-Fi component).
+func (c *backendClient) onWake() {
+	lat := c.model.ReconnectMin
+	if spread := int64(c.model.ReconnectMax - c.model.ReconnectMin); spread > 0 {
+		lat += simclock.Duration(c.recon.Int63n(spread + 1))
+	}
+	c.stats.Reconnects++
+	c.netReady = c.clock.Now().Add(lat)
+	if lat > 0 {
+		c.dev.RunTaskTagged("net-reconnect", hw.MakeSet(hw.WiFi), lat)
+	}
+}
+
+// observeRecord taps the run's delivery stream: every delivered alarm
+// that wakelocks Wi-Fi issues one backend request.
+func (c *backendClient) observeRecord(r alarm.Record) {
+	if !r.HW.Contains(hw.WiFi) {
+		return
+	}
+	c.request(r.Delivered, 0)
+}
+
+// request issues attempt number attempt (0 = first) of one backend
+// request, delivered to the device at `at`. The arrival instant the
+// backend sees is gated on the wake session's reconnect completion. A
+// shed attempt schedules the next retry at a capped exponential backoff
+// with seeded jitter; the chain ends in redelivery, a drop after
+// MaxRetries, or silently at the horizon (counted Pending at the end).
+func (c *backendClient) request(at simclock.Time, attempt int) {
+	if at < c.netReady {
+		at = c.netReady
+	}
+	c.stats.Hist.Add(at)
+	if attempt == 0 {
+		c.stats.Requests++
+	} else {
+		c.stats.Retries++
+	}
+	shed := c.model.ShedRate > 0 && c.shed.Float64() < c.model.ShedRate
+	if c.onAttempt != nil {
+		c.onAttempt(at, attempt, shed)
+	}
+	if !shed {
+		if attempt > 0 {
+			c.stats.Redelivered++
+		}
+		return
+	}
+	c.stats.ShedAttempts++
+	if attempt == 0 {
+		c.stats.Shed++
+	}
+	if attempt >= c.model.MaxRetries {
+		c.stats.Dropped++
+		return
+	}
+	c.clock.Schedule(at.Add(c.backoff(attempt)), func() {
+		c.dev.ExecuteWake(func() {
+			// The retry pays its own short sync burst; its arrival gates
+			// on this wake's reconnect like any other request.
+			c.dev.RunTaskTagged("retry-sync", hw.MakeSet(hw.WiFi), retryTaskDur)
+			c.request(c.clock.Now(), attempt+1)
+		})
+	})
+}
+
+// backoff computes the wait before retry attempt+1:
+// min(RetryBase×2^attempt, RetryMax) scaled by a uniform ±RetryJitter
+// draw from the dedicated stream.
+func (c *backendClient) backoff(attempt int) simclock.Duration {
+	d := c.model.RetryBase
+	for i := 0; i < attempt && d < c.model.RetryMax; i++ {
+		d *= 2
+	}
+	if d > c.model.RetryMax {
+		d = c.model.RetryMax
+	}
+	if j := c.model.RetryJitter; j > 0 {
+		d = simclock.Duration(float64(d) * (1 + j*(2*c.shed.Float64()-1)))
+	}
+	if d < simclock.Millisecond {
+		d = simclock.Millisecond
+	}
+	return d
+}
+
+// finish closes the accounting once the horizon is reached: retry
+// chains whose next attempt never fired are pending, never lost.
+func (c *backendClient) finish() *backend.DeviceStats {
+	c.stats.Pending = c.stats.Shed - c.stats.Redelivered - c.stats.Dropped
+	s := c.stats
+	return &s
+}

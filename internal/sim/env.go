@@ -46,6 +46,10 @@ type runEnv struct {
 	spkvib    *metrics.SpkVibAcc
 	guard     metrics.GuaranteeAcc
 	gaps      metrics.GapAcc
+
+	// backend is the device-side half of the backend co-simulation (nil
+	// unless Config.Backend is set).
+	backend *backendClient
 }
 
 // observe is the manager's record sink: it streams every derived metric
@@ -63,6 +67,9 @@ func (e *runEnv) observe(r alarm.Record) {
 	e.spkvib.Add(r)
 	e.guard.Add(r)
 	e.gaps.Add(r)
+	if e.backend != nil {
+		e.backend.observeRecord(r)
+	}
 	if e.logger != nil {
 		e.logger.Record(r)
 	}
@@ -110,7 +117,7 @@ func newRunEnv(cfg Config, horizon simclock.Duration) (*runEnv, error) {
 	pol := cfg.Custom
 	if pol == nil {
 		var err error
-		pol, err = PolicyByName(cfg.Policy)
+		pol, err = alarm.PolicyByName(cfg.Policy, alarm.PolicyContext{Seed: cfg.Seed})
 		if err != nil {
 			return nil, err
 		}
@@ -130,6 +137,12 @@ func newRunEnv(cfg Config, horizon simclock.Duration) (*runEnv, error) {
 		env.profile = &p
 	}
 	env.dev = device.New(env.clock, env.profile, cfg.Seed)
+	if cfg.Backend != nil {
+		// The client subscribes its wake hook before the manager exists:
+		// reconnect state must be armed before the manager's wake-flush
+		// deliveries (its own OnWake subscription) are observed.
+		env.backend = newBackendClient(env.clock, env.dev, *cfg.Backend, cfg.Seed)
+	}
 	env.mgr = alarm.NewManager(env.clock, env.dev, pol)
 	env.mgr.SetRealign(!cfg.DisableRealign)
 
@@ -157,6 +170,7 @@ func newRunEnv(cfg Config, horizon simclock.Duration) (*runEnv, error) {
 
 	env.rt = apps.NewRuntime(env.clock, env.dev, env.mgr, cfg.Beta, simclock.Rand(cfg.Seed+1))
 	env.rt.Jitter = cfg.TaskJitter
+	env.rt.AlignedPhases = cfg.AlignedPhases
 
 	// The fault injector hooks in before the workload installs (clock
 	// skew applies at install time). With no plan, nothing below changes
@@ -294,6 +308,9 @@ func (e *runEnv) result() *Result {
 	}
 	if e.inj != nil {
 		res.FaultEvents = e.inj.Events()
+	}
+	if e.backend != nil {
+		res.Backend = e.backend.finish()
 	}
 	res.StandbyHours = e.profile.StandbyHours(res.Energy)
 	return res

@@ -9,12 +9,16 @@ package sim
 import (
 	"fmt"
 	"math"
-	"strings"
 	"time"
 
 	"repro/internal/alarm"
 	"repro/internal/apps"
-	"repro/internal/core"
+	"repro/internal/backend"
+
+	// Pulled in for its policy registrations: core's init adds the SIMTY
+	// family to the alarm registry that PolicyByName resolves against.
+	_ "repro/internal/core"
+
 	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/metrics"
@@ -95,6 +99,20 @@ type Config struct {
 	// reproduces the same misbehaviour event for event. The plan is
 	// never mutated, so one plan value may be shared across a batch.
 	Faults *fault.Plan
+	// Backend, when non-nil, enables the backend co-simulation: the
+	// device pays a reconnect latency after every wake, every delivered
+	// Wi-Fi alarm issues a backend request, client-shed requests retry
+	// with capped exponential backoff, and the suspend guard debounces
+	// re-doze — all drawn from the dedicated RNG streams seed+5/+6, so a
+	// nil Backend remains byte-identical to the pre-backend simulator
+	// (the golden parity tests pin it). The model is never mutated and
+	// may be shared across a fleet.
+	Backend *backend.Model
+	// AlignedPhases installs every app at phase offset = its period
+	// instead of a random stagger: devices sharing a catalog then share
+	// period grids, the synchronized-fleet scenario (reboot or update
+	// wave) whose backend spike the herd experiment measures.
+	AlignedPhases bool
 }
 
 // withDefaults fills zero fields.
@@ -165,36 +183,26 @@ func (c Config) validate() error {
 			return err
 		}
 	}
+	if c.Backend != nil {
+		if err := c.Backend.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// PolicyByName constructs an alignment policy from its report name.
+// PolicyByName constructs an alignment policy from its report name via
+// the alarm package's plug-in registry (importing this package pulls in
+// internal/core, whose init registers the SIMTY family). The lookup uses
+// a zero PolicyContext, which suits validation surfaces (fleet specs,
+// the HTTP API) and every seed-independent policy; the run path resolves
+// seeded policies (SIMTY-J) through the registry with the run's seed.
 func PolicyByName(name string) (alarm.Policy, error) {
-	switch strings.ToUpper(name) {
-	case "NATIVE":
-		return alarm.Native{}, nil
-	case "NOALIGN":
-		return alarm.NoAlign{}, nil
-	case "INTERVAL":
-		return alarm.Interval{}, nil
-	case "DOZE":
-		return alarm.Doze{}, nil
-	case "SIMTY":
-		return core.NewSimty(), nil
-	case "SIMTY-HW2":
-		return &core.Simty{HW: core.TwoLevel{}}, nil
-	case "SIMTY-HW4":
-		return &core.Simty{HW: core.FourLevel{}}, nil
-	case "SIMTY-DUR":
-		return core.NewDurationSimty(), nil
-	}
-	return nil, fmt.Errorf("sim: unknown policy %q", name)
+	return alarm.PolicyByName(name, alarm.PolicyContext{})
 }
 
-// PolicyNames lists the recognized policy names.
-func PolicyNames() []string {
-	return []string{"NATIVE", "NOALIGN", "INTERVAL", "DOZE", "SIMTY", "SIMTY-hw2", "SIMTY-hw4", "SIMTY-DUR"}
-}
+// PolicyNames lists the recognized policy names in registration order.
+func PolicyNames() []string { return alarm.PolicyNames() }
 
 // Result is the outcome of one run.
 type Result struct {
@@ -229,6 +237,9 @@ type Result struct {
 	// FaultEvents is the deterministic log of injected faults and
 	// absorbed runtime violations (empty when Config.Faults is nil).
 	FaultEvents []fault.Event
+	// Backend carries the backend co-simulation counters and this run's
+	// request-arrival histogram (nil when Config.Backend is nil).
+	Backend *backend.DeviceStats
 	// Wall is the real (host) time the run took, for harness-scaling
 	// reports. It is the only field that varies between repeats of the
 	// same Config.

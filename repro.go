@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/alarm"
 	"repro/internal/apps"
+	"repro/internal/backend"
 	"repro/internal/fault"
 	"repro/internal/fleet"
 	"repro/internal/power"
@@ -99,6 +100,19 @@ type (
 	FleetRange = fleet.Range
 	// FleetIntRange is a uniform distribution over the integers [Min, Max].
 	FleetIntRange = fleet.IntRange
+	// BackendModel parameterizes the backend co-simulation: device resume
+	// sequencing (reconnect latency, client-perceived shedding, capped
+	// retry backoff, suspend-guard debounce) and the server queue
+	// (capacity, admission bound, service latency). Set Config.Backend or
+	// FleetSpec.Backend to enable it (see internal/backend).
+	BackendModel = backend.Model
+	// BackendDeviceStats is one run's backend-interaction counters
+	// (Result.Backend; nil when the backend model is off).
+	BackendDeviceStats = backend.DeviceStats
+	// BackendSummary is a fleet's deterministic backend-load aggregate:
+	// folded retry counters plus the server-queue replay of the merged
+	// arrival stream (FleetSummary.Base.Backend / .Test.Backend).
+	BackendSummary = backend.Summary
 	// Time is a virtual-time instant in milliseconds.
 	Time = simclock.Time
 	// Duration is a virtual-time span in milliseconds.
@@ -188,9 +202,23 @@ func CompareTrials(ctx context.Context, cfg Config, base, test string, trials in
 // the named policy.
 func Motivating(policy string) (*sim.MotivatingResult, error) { return sim.Motivating(policy) }
 
-// PolicyNames lists the available alignment policies: NATIVE, NOALIGN,
-// SIMTY, SIMTY-hw2, SIMTY-hw4, SIMTY-DUR.
+// PolicyNames lists the registered alignment policies in registration
+// order: NATIVE, NOALIGN, INTERVAL, DOZE, then the SIMTY family (SIMTY,
+// SIMTY-hw2, SIMTY-hw4, SIMTY-DUR, SIMTY-J). Plug-in policies added via
+// RegisterPolicy appear after the builtins.
 func PolicyNames() []string { return sim.PolicyNames() }
+
+// RegisterPolicy adds a named alignment policy to the global registry,
+// making it selectable by name everywhere a policy string is accepted
+// (Config.Policy, fleet specs, the HTTP API, CLI flags). Lookup is
+// case-insensitive; registering a duplicate name or a nil factory
+// returns an error. The factory receives the run's seed, so seeded
+// policies (like SIMTY-J's per-device phase) stay deterministic.
+func RegisterPolicy(name string, factory func(seed int64) (Policy, error)) error {
+	return alarm.Register(name, func(ctx alarm.PolicyContext) (alarm.Policy, error) {
+		return factory(ctx.Seed)
+	})
+}
 
 // Table3 returns the paper's 18-app catalog.
 func Table3() []AppSpec { return apps.Table3() }
