@@ -3,7 +3,9 @@
 #   make verify   — the full pre-merge gate: vet, build, race tests,
 #                   a repeated race pass over the parallel-harness
 #                   paths, a short fuzz smoke over the input parsers,
-#                   the per-package coverage floor, and a single-shot
+#                   a kill-a-worker pass over the multi-process shard
+#                   supervisor (crash/hang/poison/resume), the
+#                   per-package coverage floor, and a single-shot
 #                   pass over the queue microbenchmarks (smoke, not
 #                   measurement).
 #   make test     — tier-1 tests only (what CI must keep green).
@@ -33,6 +35,9 @@ GO ?= go
 # aggregation hot path when the herd model is on) ride the same gate.
 KERNELBENCH = ./internal/simclock/ -run '^$$' -bench '^BenchmarkKernel' -benchmem
 BACKENDBENCH = ./internal/backend/ -run '^$$' -bench '^BenchmarkBackend' -benchmem
+# Shard-aggregate serialization (the multi-process supervisor's wire
+# format: framed encode/decode + checkpoint state round-trip).
+SHARDBENCH = ./internal/fleet/ -run '^$$' -bench '^Benchmark(EncodeShard|DecodeShard|StateRoundTrip)$$' -benchmem
 BENCHCOUNT ?= 10
 
 # Fuzz budget per target in the verify smoke (Go runs one fuzz target
@@ -41,19 +46,22 @@ FUZZTIME ?= 10s
 
 # Coverage floor (percent) for the core packages.
 COVERMIN ?= 70
-COVERPKGS = ./internal/alarm/ ./internal/sim/ ./internal/fleet/ ./internal/backend/
+COVERPKGS = ./internal/alarm/ ./internal/sim/ ./internal/fleet/ ./internal/backend/ ./internal/shardexec/
 
 verify: vet build
 	$(GO) test -race ./...
-	$(GO) test -race -count=2 -run 'RunAll|RunTrials|CompareTrials|Sweep|GoldenRecordParity|Fleet|Concurrent|Drain|SSE|Daemon|PooledMatchesUnpooled|NoTraceParity|Backend|Herd|Readyz|Heartbeat' ./internal/simclock/ ./internal/sim/ ./internal/fleet/ ./internal/runstore/ ./internal/httpapi/ ./internal/backend/ ./cmd/wakesimd/ .
+	$(GO) test -race -count=2 -run 'RunAll|RunTrials|CompareTrials|Sweep|GoldenRecordParity|Fleet|Concurrent|Drain|SSE|Daemon|PooledMatchesUnpooled|NoTraceParity|Backend|Herd|Readyz|Heartbeat|Shard|Checkpoint|Manifest|MultiProcess' ./internal/simclock/ ./internal/sim/ ./internal/fleet/ ./internal/runstore/ ./internal/httpapi/ ./internal/backend/ ./internal/shardexec/ ./cmd/wakesimd/ ./cmd/wakesim/ .
 	$(GO) test ./internal/apps/ -run '^$$' -fuzz '^FuzzSpecJSON$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/alarm/ -run '^$$' -fuzz '^FuzzQueueOps$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/fleet/ -run '^$$' -fuzz '^FuzzFleetSpec$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/simclock/ -run '^$$' -fuzz '^FuzzClockPool$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/shardexec/ -run '^$$' -fuzz '^FuzzManifestJSON$$' -fuzztime $(FUZZTIME)
+	$(GO) test -count=1 -run 'TestRunSurvivesTransientFaults|TestRunQuarantinesPoisonShard|TestRunKillsHungWorker|TestCheckpointResumeRunsOnlyMissingShards' ./internal/shardexec/
 	$(MAKE) cover
 	$(GO) test ./internal/alarm/ -run '^$$' -bench 'Queue(Insert|Find|PopDue|Realign)' -benchtime=1x -short -timeout 10m
 	$(GO) test -race $(KERNELBENCH) -benchtime=1x -timeout 10m
 	$(GO) test -race $(BACKENDBENCH) -benchtime=1x -timeout 10m
+	$(GO) test -race $(SHARDBENCH) -benchtime=1x -timeout 10m
 
 # cover fails if any core package's statement coverage drops below the
 # floor; the awk exit carries the verdict so the gate works without any
@@ -73,6 +81,7 @@ fuzz:
 	$(GO) test ./internal/alarm/ -run '^$$' -fuzz '^FuzzQueueOps$$' -fuzztime 2m
 	$(GO) test ./internal/fleet/ -run '^$$' -fuzz '^FuzzFleetSpec$$' -fuzztime 2m
 	$(GO) test ./internal/simclock/ -run '^$$' -fuzz '^FuzzClockPool$$' -fuzztime 2m
+	$(GO) test ./internal/shardexec/ -run '^$$' -fuzz '^FuzzManifestJSON$$' -fuzztime 2m
 
 vet:
 	$(GO) vet ./...
@@ -88,6 +97,7 @@ test:
 bench-gate:
 	$(GO) test $(KERNELBENCH) -count=$(BENCHCOUNT) -timeout 30m | tee bench/current.txt
 	$(GO) test $(BACKENDBENCH) -count=$(BENCHCOUNT) -timeout 30m | tee -a bench/current.txt
+	$(GO) test $(SHARDBENCH) -count=$(BENCHCOUNT) -timeout 30m | tee -a bench/current.txt
 	$(GO) run ./cmd/benchgate -baseline bench/baseline.txt bench/current.txt
 
 # bench runs the gate plus the queue scaling benchmarks (informational,
@@ -100,6 +110,7 @@ bench: bench-gate
 bench-baseline:
 	$(GO) test $(KERNELBENCH) -count=$(BENCHCOUNT) -timeout 30m | tee bench/baseline.txt
 	$(GO) test $(BACKENDBENCH) -count=$(BENCHCOUNT) -timeout 30m | tee -a bench/baseline.txt
+	$(GO) test $(SHARDBENCH) -count=$(BENCHCOUNT) -timeout 30m | tee -a bench/baseline.txt
 
 ADDR ?= :8080
 

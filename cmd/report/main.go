@@ -5,12 +5,15 @@
 //
 //	report [-experiment all|table1|table3|fig2|fig3|fig4|table4|bounds|ablations|fleet|herd]
 //	       [-trials 3] [-seed 1] [-hours 3] [-format text|markdown|csv]
-//	       [-workers 0] [-devices 10000] [-progress]
+//	       [-workers 0] [-devices 10000] [-procs 0] [-progress]
 //
 // Each experiment is run -trials times with consecutive seeds (the paper
 // averages three runs) and the mean is reported. Independent runs fan
 // out over a worker pool (-workers, default GOMAXPROCS); -progress
-// prints per-run completions to stderr.
+// prints per-run completions to stderr. -procs P executes the fleet
+// experiment across P supervised worker processes (internal/shardexec —
+// this same binary re-executed in the internal -shardworker mode); the
+// table is byte-identical to the in-process run.
 //
 // Every flag is validated before any experiment starts; a bad value
 // exits non-zero with a one-line error rather than burning minutes of
@@ -19,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +30,7 @@ import (
 	"os"
 
 	"repro/internal/report"
+	"repro/internal/shardexec"
 	"repro/internal/sim"
 	"repro/internal/simclock"
 )
@@ -34,14 +39,16 @@ import (
 // package-level pointers) lets the tests parse and validate arbitrary
 // argument lists without touching global state.
 type options struct {
-	experiment string
-	trials     int
-	seed       int64
-	hours      float64
-	format     string
-	workers    int
-	devices    int
-	progress   bool
+	experiment  string
+	trials      int
+	seed        int64
+	hours       float64
+	format      string
+	workers     int
+	devices     int
+	procs       int
+	progress    bool
+	shardworker bool
 }
 
 // registerFlags binds the options to a FlagSet with their defaults.
@@ -54,7 +61,9 @@ func registerFlags(fs *flag.FlagSet) *options {
 	fs.StringVar(&o.format, "format", "text", "output format: text, markdown, or csv")
 	fs.IntVar(&o.workers, "workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	fs.IntVar(&o.devices, "devices", 0, "fleet experiment population size (0 = 10000)")
+	fs.IntVar(&o.procs, "procs", 0, "run the fleet experiment across N supervised worker processes (0 = in-process)")
 	fs.BoolVar(&o.progress, "progress", false, "print per-run completions to stderr")
+	fs.BoolVar(&o.shardworker, "shardworker", false, "internal: run as a shard worker (manifest on stdin, framed shard on stdout)")
 	return o
 }
 
@@ -86,12 +95,21 @@ func (o *options) validate() error {
 	if o.devices < 0 {
 		return fmt.Errorf("-devices %d: want a non-negative population size", o.devices)
 	}
+	if o.procs < 0 {
+		return fmt.Errorf("-procs %d: want a non-negative process count", o.procs)
+	}
 	return nil
 }
 
 func main() {
 	opts := registerFlags(flag.CommandLine)
 	flag.Parse()
+	if opts.shardworker {
+		if flag.NFlag() > 1 {
+			fail(fmt.Errorf("-shardworker is an internal mode and takes no other flags"))
+		}
+		os.Exit(shardexec.WorkerMain(context.Background(), os.Stdin, os.Stdout, os.Stderr))
+	}
 	if err := opts.validate(); err != nil {
 		fail(err)
 	}
@@ -117,6 +135,7 @@ func (o *options) run(w, errw io.Writer) error {
 		Duration:     simclock.Duration(o.hours * float64(simclock.Hour)),
 		Workers:      o.workers,
 		FleetDevices: o.devices,
+		Procs:        o.procs,
 	}
 	if o.progress {
 		ropts.Progress = func(p sim.Progress) {

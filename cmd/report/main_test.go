@@ -37,6 +37,7 @@ func TestValidateFlags(t *testing.T) {
 		{"list", []string{"-experiment", "list"}, ""},
 		{"markdown", []string{"-format", "markdown"}, ""},
 		{"csv with tuning", []string{"-format", "csv", "-trials", "1", "-hours", "0.5", "-workers", "4", "-devices", "100"}, ""},
+		{"sharded fleet", []string{"-experiment", "fleet", "-procs", "2"}, ""},
 
 		{"unknown experiment", []string{"-experiment", "table99"}, "unknown experiment"},
 		{"zero trials", []string{"-trials", "0"}, "-trials"},
@@ -49,6 +50,7 @@ func TestValidateFlags(t *testing.T) {
 		{"misspelled format", []string{"-format", "markdwon"}, "unknown format"},
 		{"negative workers", []string{"-workers", "-1"}, "-workers"},
 		{"negative devices", []string{"-devices", "-5"}, "-devices"},
+		{"negative procs", []string{"-procs", "-2"}, "-procs"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

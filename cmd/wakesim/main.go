@@ -11,6 +11,8 @@
 //	        [-toempty] [-notrace] [-v]
 //	wakesim -fleet N [-fleetspec file.json] [-workers 0] [-json agg.json]
 //	        [-policy SIMTY] [-hours 3] [-beta 0.96] [-seed 0]
+//	        [-procs P [-checkpoint run.ckpt [-resume]]]
+//	wakesim -shardworker
 //
 // Fleet mode (-fleet and/or -fleetspec) simulates a population of
 // heterogeneous devices instead of one: -fleetspec loads a fleet.Spec
@@ -22,6 +24,17 @@
 // single-run flags that name one concrete device or export one trace
 // (-workload, -spec, -toempty, -trace, -timeline, -anomaly, the fault
 // flags, -pushes, -screens, -oneshots) conflict with fleet mode.
+//
+// -procs P shards the fleet across P supervised worker OS processes
+// (see internal/shardexec): the summary stays byte-identical, crashed
+// or hung workers are retried and eventually quarantined, and
+// -checkpoint persists completed shards so an interrupted run restarted
+// with -resume re-executes only the missing ones. -checkpoint requires
+// -procs, and -resume requires -checkpoint. -shardworker is the child
+// half of that protocol — it reads one shard manifest from stdin,
+// writes one framed shard aggregate to stdout, and accepts no other
+// flags; it is an internal mode the supervisor invokes, not a
+// user-facing entry point.
 //
 // The trace-export flags (-trace, -json, -timeline, -anomaly) work in
 // both fixed-horizon and -toempty mode; a run-to-empty trace covers the
@@ -60,6 +73,7 @@ import (
 	"strconv"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/anomaly"
 	"repro/internal/apps"
@@ -68,6 +82,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/hw"
 	"repro/internal/metrics"
+	"repro/internal/shardexec"
 	"repro/internal/sim"
 	"repro/internal/simclock"
 	"repro/internal/trace"
@@ -82,32 +97,36 @@ type options struct {
 	// of the spec file only when they were set explicitly.
 	explicitSet map[string]bool
 
-	policy    string
-	workload  string
-	specFile  string
-	hours     float64
-	beta      float64
-	seed      int64
-	system    bool
-	oneshots  int
-	pushes    float64
-	screens   float64
-	leak      string
-	leakNever string
-	storm     string
-	traceCSV  string
-	traceJSON string
-	noTrace   bool
-	detect    bool
-	toEmpty   bool
-	timeline  int
-	verbose   bool
-	fleet     int
-	fleetSpec string
-	workers   int
-	backend   bool
-	shed      float64
-	aligned   bool
+	policy      string
+	workload    string
+	specFile    string
+	hours       float64
+	beta        float64
+	seed        int64
+	system      bool
+	oneshots    int
+	pushes      float64
+	screens     float64
+	leak        string
+	leakNever   string
+	storm       string
+	traceCSV    string
+	traceJSON   string
+	noTrace     bool
+	detect      bool
+	toEmpty     bool
+	timeline    int
+	verbose     bool
+	fleet       int
+	fleetSpec   string
+	workers     int
+	backend     bool
+	shed        float64
+	aligned     bool
+	procs       int
+	checkpoint  string
+	resume      bool
+	shardworker bool
 }
 
 // registerFlags binds the options to a FlagSet with their defaults.
@@ -139,6 +158,10 @@ func registerFlags(fs *flag.FlagSet) *options {
 	fs.BoolVar(&o.backend, "backend", false, "co-simulate the push/sync backend (reconnect latency, retry pipeline, server queue)")
 	fs.Float64Var(&o.shed, "shed", 0, "backend client-perceived shed rate in [0, 1) (requires -backend)")
 	fs.BoolVar(&o.aligned, "alignedphases", false, "install every app at phase offset = its period (the update-wave herd scenario)")
+	fs.IntVar(&o.procs, "procs", 0, "shard a fleet run across N supervised worker processes (0 = in-process)")
+	fs.StringVar(&o.checkpoint, "checkpoint", "", "persist completed shards to this file (requires -procs)")
+	fs.BoolVar(&o.resume, "resume", false, "resume from an existing -checkpoint file, re-running only missing shards")
+	fs.BoolVar(&o.shardworker, "shardworker", false, "internal: run as a shard worker (manifest on stdin, framed shard on stdout)")
 	return o
 }
 
@@ -149,6 +172,17 @@ func (o *options) fleetMode() bool { return o.fleet > 0 || o.fleetSpec != "" }
 // runs. explicit holds the flags the user actually set (flag.Visit), so
 // conflicts between a default and an explicit flag don't false-positive.
 func (o *options) validate(explicit map[string]bool) error {
+	o.explicitSet = explicit
+	if o.shardworker {
+		// The worker protocol is manifest-on-stdin only; any other
+		// explicit flag is a misuse of the internal mode.
+		for f := range explicit {
+			if f != "shardworker" {
+				return fmt.Errorf("-shardworker is an internal mode and takes no other flags (got -%s)", f)
+			}
+		}
+		return nil
+	}
 	if _, err := sim.PolicyByName(o.policy); err != nil {
 		return err
 	}
@@ -158,7 +192,15 @@ func (o *options) validate(explicit map[string]bool) error {
 	if o.workers < 0 {
 		return fmt.Errorf("-workers %d: want a non-negative worker count", o.workers)
 	}
-	o.explicitSet = explicit
+	if o.procs < 0 {
+		return fmt.Errorf("-procs %d: want a non-negative process count", o.procs)
+	}
+	if o.checkpoint != "" && o.procs <= 0 {
+		return fmt.Errorf("-checkpoint requires -procs: only the multi-process supervisor writes checkpoints")
+	}
+	if o.resume && o.checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint: there is nothing to resume from")
+	}
 	if o.fleetMode() {
 		// Fleet mode samples its own per-device workloads, rates, and
 		// faults; flags that configure one concrete run conflict with it.
@@ -171,6 +213,8 @@ func (o *options) validate(explicit map[string]bool) error {
 		}
 	} else if explicit["workers"] {
 		return fmt.Errorf("-workers only applies to fleet mode (-fleet / -fleetspec)")
+	} else if explicit["procs"] {
+		return fmt.Errorf("-procs only applies to fleet mode (-fleet / -fleetspec)")
 	}
 	if o.specFile != "" && explicit["workload"] {
 		return fmt.Errorf("-spec and -workload are mutually exclusive: the spec file is the workload")
@@ -338,6 +382,9 @@ func main() {
 	if err := opts.validate(explicit); err != nil {
 		fail(err)
 	}
+	if opts.shardworker {
+		os.Exit(shardexec.WorkerMain(context.Background(), os.Stdin, os.Stdout, os.Stderr))
+	}
 	if err := opts.run(os.Stdout); err != nil {
 		fail(err)
 	}
@@ -468,13 +515,35 @@ func (o *options) runFleet(w io.Writer) error {
 		spec.TestPolicy = o.policy
 	}
 
-	r, err := fleet.Run(context.Background(), spec, fleet.Options{Workers: o.workers})
-	if err != nil {
-		return err
+	var (
+		agg       *fleet.Aggregate
+		wall      time.Duration
+		shardLine string
+	)
+	if o.procs > 0 {
+		res, err := shardexec.Run(context.Background(), spec, shardexec.Options{
+			Procs:      o.procs,
+			Workers:    o.workers,
+			Checkpoint: o.checkpoint,
+			Resume:     o.resume,
+		})
+		if err != nil {
+			return err
+		}
+		agg, wall = res.Agg, res.Wall
+		shardLine = fmt.Sprintf("shards: %d over %d procs, %d attempts (%d retries), %d resumed from checkpoint\n",
+			res.Shards, o.procs, res.Attempts, res.Retries, res.Resumed)
+	} else {
+		r, err := fleet.Run(context.Background(), spec, fleet.Options{Workers: o.workers})
+		if err != nil {
+			return err
+		}
+		agg, wall = r.Agg, r.Wall
 	}
-	s := r.Agg.Summary()
+	s := agg.Summary()
 	fmt.Fprintf(w, "fleet: %d devices, %s vs %s, %.1f h horizon, seed %d (%.1fs wall)\n",
-		s.Devices, s.BasePolicy, s.TestPolicy, s.Hours, s.Seed, r.Wall.Seconds())
+		s.Devices, s.BasePolicy, s.TestPolicy, s.Hours, s.Seed, wall.Seconds())
+	fmt.Fprint(w, shardLine)
 	pct := func(name string, d fleet.Dist) {
 		fmt.Fprintf(w, "%s: mean %.1f%% ± %.1f (CI95), P50 %.1f%%, P95 %.1f%%, range [%.1f%%, %.1f%%]\n",
 			name, 100*d.Mean, 100*d.CI95, 100*d.P50, 100*d.P95, 100*d.Min, 100*d.Max)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"io"
@@ -11,8 +12,21 @@ import (
 	"testing"
 
 	"repro/internal/fault"
+	"repro/internal/shardexec"
 	"repro/internal/simclock"
 )
+
+// TestMain lets the test binary stand in for the wakesim -shardworker
+// child: the multi-process tests leave shardexec's default worker argv
+// in place (os.Executable() -shardworker), which re-executes this test
+// binary, and the env marker routes the child into the real worker
+// entry point instead of the test suite.
+func TestMain(m *testing.M) {
+	if os.Getenv("WAKESIM_TEST_SHARDWORKER") == "1" {
+		os.Exit(shardexec.WorkerMain(context.Background(), os.Stdin, os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
 
 // parse runs an argument list through a fresh FlagSet exactly as main
 // does, returning the options and the explicitly-set flag names.
@@ -103,6 +117,19 @@ func TestValidateFlagCombinations(t *testing.T) {
 		{"negative shed", []string{"-backend", "-shed", "-0.1"}, "-shed"},
 		{"backend with fleet", []string{"-fleet", "10", "-backend"}, "-backend"},
 		{"alignedphases with fleet", []string{"-fleet", "10", "-alignedphases"}, "-alignedphases"},
+
+		{"fleet with procs", []string{"-fleet", "10", "-procs", "2"}, ""},
+		{"procs with checkpoint", []string{"-fleet", "10", "-procs", "2", "-checkpoint", "f.ckpt"}, ""},
+		{"procs checkpoint resume", []string{"-fleet", "10", "-procs", "2", "-checkpoint", "f.ckpt", "-resume"}, ""},
+		{"shardworker alone", []string{"-shardworker"}, ""},
+		{"negative procs", []string{"-fleet", "10", "-procs", "-1"}, "-procs"},
+		{"procs without fleet", []string{"-procs", "2"}, "-procs"},
+		{"checkpoint without procs", []string{"-fleet", "10", "-checkpoint", "f.ckpt"}, "-checkpoint requires -procs"},
+		{"checkpoint without anything", []string{"-checkpoint", "f.ckpt"}, "-checkpoint requires -procs"},
+		{"resume without checkpoint", []string{"-fleet", "10", "-procs", "2", "-resume"}, "-resume requires -checkpoint"},
+		{"shardworker with fleet", []string{"-shardworker", "-fleet", "10"}, "-shardworker"},
+		{"shardworker with policy", []string{"-shardworker", "-policy", "SIMTY"}, "-shardworker"},
+		{"shardworker with json", []string{"-shardworker", "-json", "out.json"}, "-shardworker"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -233,5 +260,67 @@ func TestRunFleetEndToEnd(t *testing.T) {
 	}
 	if err := o.run(io.Discard); err == nil {
 		t.Fatal("missing fleet spec file accepted")
+	}
+}
+
+// runCLI validates and runs one argument list, returning the text
+// output; the test binary itself serves as the shard worker (TestMain).
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	o, explicit := parse(t, args...)
+	if err := o.validate(explicit); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := o.run(&out); err != nil {
+		t.Fatalf("run %v: %v\n%s", args, err, out.String())
+	}
+	return out.String()
+}
+
+// TestRunFleetMultiProcess drives the -procs path end to end: the JSON
+// aggregate must be byte-identical to the in-process run, and a
+// -checkpoint / -resume round trip must re-run nothing once the
+// checkpoint is complete.
+func TestRunFleetMultiProcess(t *testing.T) {
+	t.Setenv("WAKESIM_TEST_SHARDWORKER", "1")
+	dir := t.TempDir()
+	base := []string{"-fleet", "20", "-hours", "0.5", "-seed", "7"}
+
+	single := filepath.Join(dir, "single.json")
+	runCLI(t, append(base, "-json", single)...)
+
+	multi := filepath.Join(dir, "multi.json")
+	s := runCLI(t, append(base, "-procs", "2", "-json", multi)...)
+	if !strings.Contains(s, "shards: 1 over 2 procs, 1 attempts (0 retries), 0 resumed") {
+		t.Errorf("multi-process summary missing the shard line:\n%s", s)
+	}
+	want, err := os.ReadFile(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("multi-process aggregate diverged from in-process run:\n got %s\nwant %s", got, want)
+	}
+
+	// Checkpoint, then resume: the completed checkpoint satisfies the
+	// whole run, so the resumed invocation launches zero workers.
+	ckpt := filepath.Join(dir, "run.ckpt")
+	runCLI(t, append(base, "-procs", "1", "-checkpoint", ckpt)...)
+	resumed := filepath.Join(dir, "resumed.json")
+	s = runCLI(t, append(base, "-procs", "2", "-checkpoint", ckpt, "-resume", "-json", resumed)...)
+	if !strings.Contains(s, "shards: 1 over 2 procs, 0 attempts (0 retries), 1 resumed") {
+		t.Errorf("resumed summary did not reuse the checkpoint:\n%s", s)
+	}
+	got, err = os.ReadFile(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("resumed aggregate diverged from in-process run")
 	}
 }

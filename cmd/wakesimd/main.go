@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	wakesimd [-addr :8080] [-maxruns 2] [-workers 0]
+//	wakesimd [-addr :8080] [-maxruns 2] [-workers 0] [-procs 0]
 //	         [-snapshot 64] [-maxbody 1048576] [-drain 30s]
+//	wakesimd -shardworker
 //
 // The API (see internal/httpapi):
 //
@@ -16,6 +17,14 @@
 //	DELETE /fleets/{id}        cancel
 //	GET    /healthz            liveness
 //	GET    /readyz             readiness (503 while draining)
+//
+// -procs P executes every fleet through the multi-process shard
+// supervisor (internal/shardexec): P worker processes per fleet,
+// crash/hang retries with quarantine, "shard" lifecycle events on the
+// SSE stream, and a byte-identical aggregate. The workers are this
+// same binary re-executed in -shardworker mode — an internal mode that
+// reads one shard manifest from stdin, writes one framed shard to
+// stdout, and takes no other flags.
 //
 // At most -maxruns simulations execute at once; excess submissions
 // queue. On SIGTERM/SIGINT the daemon stops accepting work, waits up to
@@ -42,18 +51,21 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/httpapi"
 	"repro/internal/runstore"
+	"repro/internal/shardexec"
 )
 
 // options holds every flag value. Keeping them on a struct (rather than
 // package-level pointers) lets the tests parse, validate, and run
 // arbitrary configurations without touching global state.
 type options struct {
-	addr     string
-	maxRuns  int
-	workers  int
-	snapshot int
-	maxBody  int64
-	drain    time.Duration
+	addr        string
+	maxRuns     int
+	workers     int
+	procs       int
+	snapshot    int
+	maxBody     int64
+	drain       time.Duration
+	shardworker bool
 
 	// onListen, when set (by tests), receives the bound address once the
 	// listener is up.
@@ -69,6 +81,8 @@ func registerFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.snapshot, "snapshot", fleet.DefaultSnapshotEvery, "devices folded between SSE aggregate snapshots")
 	fs.Int64Var(&o.maxBody, "maxbody", 1<<20, "maximum request body size in bytes")
 	fs.DurationVar(&o.drain, "drain", 30*time.Second, "shutdown grace: how long to let in-flight runs finish")
+	fs.IntVar(&o.procs, "procs", 0, "execute fleets across N supervised worker processes (0 = in-process)")
+	fs.BoolVar(&o.shardworker, "shardworker", false, "internal: run as a shard worker (manifest on stdin, framed shard on stdout)")
 	return o
 }
 
@@ -83,6 +97,9 @@ func (o *options) validate() error {
 	}
 	if o.workers < 0 {
 		return fmt.Errorf("-workers %d: want a non-negative worker count", o.workers)
+	}
+	if o.procs < 0 {
+		return fmt.Errorf("-procs %d: want a non-negative process count", o.procs)
 	}
 	if o.snapshot < 1 {
 		return fmt.Errorf("-snapshot %d: want a positive fold interval", o.snapshot)
@@ -99,6 +116,12 @@ func (o *options) validate() error {
 func main() {
 	opts := registerFlags(flag.CommandLine)
 	flag.Parse()
+	if opts.shardworker {
+		if flag.NFlag() > 1 {
+			fail(fmt.Errorf("-shardworker is an internal mode and takes no other flags"))
+		}
+		os.Exit(shardexec.WorkerMain(context.Background(), os.Stdin, os.Stdout, os.Stderr))
+	}
 	if err := opts.validate(); err != nil {
 		fail(err)
 	}
@@ -128,6 +151,7 @@ func (o *options) run(ctx context.Context, w io.Writer) error {
 	store := runstore.New(o.maxRuns)
 	srv := &http.Server{Handler: httpapi.New(store, httpapi.Options{
 		Workers:       o.workers,
+		Procs:         o.procs,
 		SnapshotEvery: o.snapshot,
 		MaxBody:       o.maxBody,
 	})}

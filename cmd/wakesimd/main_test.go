@@ -8,11 +8,25 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/shardexec"
 )
+
+// TestMain lets the test binary stand in for wakesimd -shardworker: a
+// daemon started with -procs re-executes os.Executable() — this test
+// binary — as its shard workers, and the env marker routes those
+// children into the worker entry point.
+func TestMain(m *testing.M) {
+	if os.Getenv("WAKESIMD_TEST_SHARDWORKER") == "1" {
+		os.Exit(shardexec.WorkerMain(context.Background(), os.Stdin, os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
 
 // parse runs an argument list through a fresh FlagSet exactly as main
 // does.
@@ -38,6 +52,7 @@ func TestValidateFlags(t *testing.T) {
 	}{
 		{"defaults", nil, ""},
 		{"everything tuned", []string{"-addr", "127.0.0.1:9999", "-maxruns", "8", "-workers", "4", "-snapshot", "500", "-maxbody", "4096", "-drain", "5s"}, ""},
+		{"sharded", []string{"-procs", "2"}, ""},
 
 		{"empty addr", []string{"-addr", ""}, "-addr"},
 		{"zero maxruns", []string{"-maxruns", "0"}, "-maxruns"},
@@ -47,6 +62,7 @@ func TestValidateFlags(t *testing.T) {
 		{"zero maxbody", []string{"-maxbody", "0"}, "-maxbody"},
 		{"zero drain", []string{"-drain", "0s"}, "-drain"},
 		{"negative drain", []string{"-drain", "-5s"}, "-drain"},
+		{"negative procs", []string{"-procs", "-2"}, "-procs"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -277,6 +293,66 @@ func TestDaemonReadyzDuringDrain(t *testing.T) {
 	waitExit(t, errc, 30*time.Second)
 }
 
+// TestDaemonShardedFleet boots the daemon in multi-process mode (-procs
+// 2, the workers re-exec this test binary) and pushes a fleet through
+// the full HTTP lifecycle to done.
+func TestDaemonShardedFleet(t *testing.T) {
+	t.Setenv("WAKESIMD_TEST_SHARDWORKER", "1")
+	base, cancel, errc := startDaemon(t, parse(t, "-procs", "2"), io.Discard)
+	defer cancel()
+
+	resp, err := http.Post(base+"/fleets", "application/json",
+		strings.NewReader(`{"devices": 20, "seed": 7, "hours": 0.1, "apps": {"min": 1, "max": 2}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /fleets = %d: %s", resp.StatusCode, blob)
+	}
+	var run struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(blob, &run); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var e struct {
+			State    string `json:"state"`
+			Error    string `json:"error"`
+			Attempts int    `json:"attempts"`
+		}
+		resp, err := http.Get(base + "/fleets/" + run.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(blob, &e); err != nil {
+			t.Fatalf("decode %s: %v", blob, err)
+		}
+		if e.State == "done" {
+			if e.Attempts != 1 {
+				t.Fatalf("attempts = %d, want 1 (20 devices fit one shard)", e.Attempts)
+			}
+			break
+		}
+		if e.State == "failed" || e.State == "cancelled" {
+			t.Fatalf("sharded fleet landed in %s: %s", e.State, e.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sharded fleet never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cancel()
+	waitExit(t, errc, 30*time.Second)
+}
+
 type writerFunc func([]byte) (int, error)
 
 func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
@@ -299,7 +375,7 @@ func TestDaemonListenError(t *testing.T) {
 // TestUsageExample keeps the doc comment's flag names honest: every
 // flag named there must exist.
 func TestUsageExample(t *testing.T) {
-	for _, f := range []string{"addr", "maxruns", "workers", "snapshot", "maxbody", "drain"} {
+	for _, f := range []string{"addr", "maxruns", "workers", "snapshot", "maxbody", "drain", "procs", "shardworker"} {
 		fs := flag.NewFlagSet("wakesimd", flag.ContinueOnError)
 		registerFlags(fs)
 		if fs.Lookup(f) == nil {

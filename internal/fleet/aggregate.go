@@ -132,25 +132,41 @@ func newPolicyAcc(m *backend.Model) *policyAcc {
 	return p
 }
 
-// observe folds one finished run into the policy's accumulators. The
-// guarantee counters fold the run's streamed Guarantees rather than
-// re-scanning its Records, so runs executed in the NoTrace fast mode
-// (no Records at all) aggregate identically: sums of per-run counts and
-// the max of per-run maxima equal the record-level scan exactly.
-func (p *policyAcc) observe(r *sim.Result) {
-	p.energy.add(r.Energy.TotalMJ())
-	p.standby.add(r.StandbyHours)
-	p.wakeups.add(float64(r.FinalWakeups))
-	p.imperc.add(r.Delays.ImperceptibleMean)
-	g := r.Guarantees
-	p.perceptibleLate += g.PerceptibleLate
-	p.graceLate += g.GraceLate
-	if g.MaxPerceptibleDelay > p.maxPerceptibleDelay {
-		p.maxPerceptibleDelay = g.MaxPerceptibleDelay
+// observeObs folds one device's extracted observation row into the
+// policy's accumulators. Every float here was computed by makePolicyObs
+// — in this process or in a shard-worker process — so folding a row is
+// bit-identical to folding the run it came from. The guarantee counters
+// fold the run's streamed Guarantees rather than re-scanning its
+// Records, so runs executed in the NoTrace fast mode (no Records at
+// all) aggregate identically: sums of per-run counts and the max of
+// per-run maxima equal the record-level scan exactly.
+func (p *policyAcc) observeObs(o PolicyObs) {
+	p.energy.add(o.EnergyMJ)
+	p.standby.add(o.StandbyHours)
+	p.wakeups.add(o.Wakeups)
+	p.imperc.add(o.ImperceptibleDelay)
+	p.perceptibleLate += o.PerceptibleLate
+	p.graceLate += o.GraceLate
+	if o.MaxPerceptibleDelay > p.maxPerceptibleDelay {
+		p.maxPerceptibleDelay = o.MaxPerceptibleDelay
 	}
-	if p.hist != nil && r.Backend != nil {
-		p.bk.Merge(r.Backend)
-		p.hist.Merge(r.Backend.Hist)
+}
+
+// observeBackend folds one run's backend counters and arrival histogram.
+// Both folds are commutative, associative integer adds, so shard-level
+// pre-folds (ShardAggregate) merge to the same result as per-run folds.
+func (p *policyAcc) observeBackend(b *backend.DeviceStats) {
+	if p.hist != nil && b != nil {
+		p.bk.Merge(b)
+		p.hist.Merge(b.Hist)
+	}
+}
+
+// mergeBackend folds a shard-level backend pre-fold.
+func (p *policyAcc) mergeBackend(stats backend.DeviceStats, hist *backend.Histogram) {
+	if p.hist != nil && hist != nil {
+		p.bk.Merge(&stats)
+		p.hist.Merge(hist)
 	}
 }
 
@@ -189,7 +205,13 @@ type Aggregate struct {
 	total, awake, standby, wakeup *acc
 }
 
-func newAggregate(spec Spec) *Aggregate {
+// NewAggregate returns an empty aggregate for the spec, ready to fold
+// devices (observe) or whole shards (MergeShard) in index order. The
+// in-process runner builds one internally; the multi-process supervisor
+// (internal/shardexec) builds one explicitly so it can restore a
+// checkpointed state into it.
+func NewAggregate(spec Spec) *Aggregate {
+	spec = spec.WithDefaults()
 	return &Aggregate{
 		spec: spec,
 		base: newPolicyAcc(spec.Backend), test: newPolicyAcc(spec.Backend),
@@ -197,19 +219,27 @@ func newAggregate(spec Spec) *Aggregate {
 	}
 }
 
-// observe folds one device's base/test run pair into the aggregate.
+// observe folds one device's base/test run pair into the aggregate. It
+// routes through the same Obs extraction the shard workers use, so the
+// in-process and multi-process paths fold bit-identical values.
 func (a *Aggregate) observe(d Device, base, test *sim.Result) {
+	a.observeObs(makeObs(d, base, test))
+	a.base.observeBackend(base.Backend)
+	a.test.observeBackend(test.Backend)
+}
+
+// observeObs folds one device's extracted observation row.
+func (a *Aggregate) observeObs(o Obs) {
 	a.devices++
-	if d.LeakApp != "" {
+	if o.Leaky {
 		a.leaky++
 	}
-	a.base.observe(base)
-	a.test.observe(test)
-	cmp := sim.Comparison{Base: base, Test: test}
-	a.total.add(cmp.TotalSavings())
-	a.awake.add(cmp.AwakeSavings())
-	a.standby.add(cmp.StandbyExtension())
-	a.wakeup.add(cmp.WakeupReduction())
+	a.base.observeObs(o.Base)
+	a.test.observeObs(o.Test)
+	a.total.add(o.Total)
+	a.awake.add(o.Awake)
+	a.standby.add(o.Standby)
+	a.wakeup.add(o.Wakeup)
 }
 
 // Devices reports how many devices have been folded in.
@@ -217,7 +247,7 @@ func (a *Aggregate) Devices() int { return a.devices }
 
 // Summary snapshots the aggregate into its deterministic JSON form.
 func (a *Aggregate) Summary() Summary {
-	s := a.spec.withDefaults()
+	s := a.spec.WithDefaults()
 	return Summary{
 		Devices:    a.devices,
 		Seed:       s.Seed,

@@ -1,0 +1,418 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/backend"
+	"repro/internal/stats"
+)
+
+// Framed binary formats for the multi-process fleet protocol. Two frame
+// kinds share one envelope:
+//
+//	[magic 4][version u16][payload length u32][payload][crc32c u32]
+//
+// "WFSH" frames carry a ShardAggregate — what a shard-worker process
+// writes to stdout and what checkpoint files persist per shard. "WFAG"
+// frames carry a serialized Aggregate state — the checkpoint's running
+// prefix, restored on resume so already-merged shards are not re-run.
+//
+// The CRC (Castagnoli) covers the envelope header and payload, so a
+// truncated pipe, a torn checkpoint tail, or a flipped bit decodes as a
+// loud error instead of a silently wrong summary. All integers are
+// little-endian and floats cross as their IEEE-754 bit patterns —
+// decode(encode(x)) is x, bit for bit, which is what lets a resumed run
+// produce byte-identical Summary JSON.
+
+const (
+	shardMagic = "WFSH"
+	stateMagic = "WFAG"
+
+	// CodecVersion is the on-wire version of both frame kinds. Bump it
+	// on any layout change: a supervisor refuses frames from a worker
+	// or checkpoint of a different version instead of misparsing them.
+	CodecVersion = 1
+
+	frameHeaderSize = 4 + 2 + 4
+	policyObsSize   = 7 * 8
+	obsSize         = 1 + 2*policyObsSize + 4*8
+	accSize         = stats.WelfordBinarySize + 3*stats.P2QuantileBinarySize
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frame wraps a payload in the envelope.
+func frame(magic string, payload []byte) []byte {
+	b := make([]byte, 0, frameHeaderSize+len(payload)+4)
+	b = append(b, magic...)
+	b = binary.LittleEndian.AppendUint16(b, CodecVersion)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = append(b, payload...)
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
+}
+
+// unframe validates the envelope and returns the payload.
+func unframe(magic string, data []byte) ([]byte, error) {
+	if len(data) < frameHeaderSize+4 {
+		return nil, fmt.Errorf("fleet: %s frame is %d bytes, want at least %d", magic, len(data), frameHeaderSize+4)
+	}
+	if got := string(data[:4]); got != magic {
+		return nil, fmt.Errorf("fleet: frame magic %q, want %q", got, magic)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != CodecVersion {
+		return nil, fmt.Errorf("fleet: %s frame version %d, want %d", magic, v, CodecVersion)
+	}
+	n := int(binary.LittleEndian.Uint32(data[6:]))
+	if len(data) != frameHeaderSize+n+4 {
+		return nil, fmt.Errorf("fleet: %s frame is %d bytes, want %d for payload of %d", magic, len(data), frameHeaderSize+n+4, n)
+	}
+	body := data[:frameHeaderSize+n]
+	want := binary.LittleEndian.Uint32(data[frameHeaderSize+n:])
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, fmt.Errorf("fleet: %s frame checksum %08x, want %08x (corrupt or truncated)", magic, got, want)
+	}
+	return data[frameHeaderSize : frameHeaderSize+n], nil
+}
+
+func appendFloat(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+func appendPolicyObs(b []byte, o PolicyObs) []byte {
+	b = appendFloat(b, o.EnergyMJ)
+	b = appendFloat(b, o.StandbyHours)
+	b = appendFloat(b, o.Wakeups)
+	b = appendFloat(b, o.ImperceptibleDelay)
+	b = binary.LittleEndian.AppendUint64(b, uint64(o.PerceptibleLate))
+	b = binary.LittleEndian.AppendUint64(b, uint64(o.GraceLate))
+	return appendFloat(b, o.MaxPerceptibleDelay)
+}
+
+func decodePolicyObs(data []byte) (PolicyObs, error) {
+	o := PolicyObs{
+		EnergyMJ:            math.Float64frombits(binary.LittleEndian.Uint64(data)),
+		StandbyHours:        math.Float64frombits(binary.LittleEndian.Uint64(data[8:])),
+		Wakeups:             math.Float64frombits(binary.LittleEndian.Uint64(data[16:])),
+		ImperceptibleDelay:  math.Float64frombits(binary.LittleEndian.Uint64(data[24:])),
+		PerceptibleLate:     int(int64(binary.LittleEndian.Uint64(data[32:]))),
+		GraceLate:           int(int64(binary.LittleEndian.Uint64(data[40:]))),
+		MaxPerceptibleDelay: math.Float64frombits(binary.LittleEndian.Uint64(data[48:])),
+	}
+	if o.PerceptibleLate < 0 || o.GraceLate < 0 {
+		return o, fmt.Errorf("fleet: negative guarantee counter in observation row")
+	}
+	return o, nil
+}
+
+func appendObs(b []byte, o Obs) []byte {
+	if o.Leaky {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendPolicyObs(b, o.Base)
+	b = appendPolicyObs(b, o.Test)
+	b = appendFloat(b, o.Total)
+	b = appendFloat(b, o.Awake)
+	b = appendFloat(b, o.Standby)
+	return appendFloat(b, o.Wakeup)
+}
+
+func decodeObs(data []byte) (Obs, error) {
+	var o Obs
+	switch data[0] {
+	case 0:
+	case 1:
+		o.Leaky = true
+	default:
+		return o, fmt.Errorf("fleet: observation leak flag %d, want 0 or 1", data[0])
+	}
+	var err error
+	if o.Base, err = decodePolicyObs(data[1:]); err != nil {
+		return o, err
+	}
+	if o.Test, err = decodePolicyObs(data[1+policyObsSize:]); err != nil {
+		return o, err
+	}
+	tail := data[1+2*policyObsSize:]
+	o.Total = math.Float64frombits(binary.LittleEndian.Uint64(tail))
+	o.Awake = math.Float64frombits(binary.LittleEndian.Uint64(tail[8:]))
+	o.Standby = math.Float64frombits(binary.LittleEndian.Uint64(tail[16:]))
+	o.Wakeup = math.Float64frombits(binary.LittleEndian.Uint64(tail[24:]))
+	return o, nil
+}
+
+// appendBlob writes a u32 length prefix followed by the bytes.
+func appendBlob(b, blob []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(blob)))
+	return append(b, blob...)
+}
+
+// takeBlob consumes a length-prefixed blob and returns it with the rest.
+func takeBlob(data []byte) (blob, rest []byte, err error) {
+	if len(data) < 4 {
+		return nil, nil, fmt.Errorf("fleet: truncated length prefix")
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	if len(data) < 4+n {
+		return nil, nil, fmt.Errorf("fleet: blob of %d bytes in %d remaining", n, len(data)-4)
+	}
+	return data[4 : 4+n], data[4+n:], nil
+}
+
+// EncodeShard serializes a shard aggregate into a checksummed WFSH
+// frame: the worker→supervisor wire format and the checkpoint's
+// per-shard record payload.
+func EncodeShard(sa *ShardAggregate) []byte {
+	payload := make([]byte, 0, 64+obsSize*len(sa.Obs))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(sa.Index))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(sa.Lo))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(sa.Hi))
+	payload = append(payload, sa.SpecHash[:]...)
+	if sa.HasBackend {
+		payload = append(payload, 1)
+	} else {
+		payload = append(payload, 0)
+	}
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(sa.Obs)))
+	for i := range sa.Obs {
+		payload = appendObs(payload, sa.Obs[i])
+	}
+	if sa.HasBackend {
+		payload = sa.BaseStats.AppendBinary(payload)
+		payload = sa.TestStats.AppendBinary(payload)
+		payload = appendBlob(payload, sa.BaseHist.AppendBinary(nil))
+		payload = appendBlob(payload, sa.TestHist.AppendBinary(nil))
+	}
+	return frame(shardMagic, payload)
+}
+
+// DecodeShard parses a WFSH frame, rejecting truncated, corrupt,
+// version-skewed, or structurally invalid payloads.
+func DecodeShard(data []byte) (*ShardAggregate, error) {
+	payload, err := unframe(shardMagic, data)
+	if err != nil {
+		return nil, err
+	}
+	const fixed = 4 + 8 + 8 + 32 + 1 + 4
+	if len(payload) < fixed {
+		return nil, fmt.Errorf("fleet: shard payload is %d bytes, want at least %d", len(payload), fixed)
+	}
+	sa := &ShardAggregate{
+		Index: int(int32(binary.LittleEndian.Uint32(payload))),
+		Lo:    int(int64(binary.LittleEndian.Uint64(payload[4:]))),
+		Hi:    int(int64(binary.LittleEndian.Uint64(payload[12:]))),
+	}
+	copy(sa.SpecHash[:], payload[20:52])
+	switch payload[52] {
+	case 0:
+	case 1:
+		sa.HasBackend = true
+	default:
+		return nil, fmt.Errorf("fleet: shard backend flag %d, want 0 or 1", payload[52])
+	}
+	n := int(binary.LittleEndian.Uint32(payload[53:]))
+	if sa.Index < 0 || sa.Lo < 0 || sa.Hi <= sa.Lo || n != sa.Hi-sa.Lo {
+		return nil, fmt.Errorf("fleet: shard %d range [%d, %d) with %d rows is inconsistent", sa.Index, sa.Lo, sa.Hi, n)
+	}
+	rest := payload[fixed:]
+	if len(rest) < n*obsSize {
+		return nil, fmt.Errorf("fleet: shard payload holds %d bytes for %d rows of %d", len(rest), n, obsSize)
+	}
+	sa.Obs = make([]Obs, n)
+	for i := 0; i < n; i++ {
+		if sa.Obs[i], err = decodeObs(rest[i*obsSize:]); err != nil {
+			return nil, fmt.Errorf("fleet: shard row %d: %w", i, err)
+		}
+	}
+	rest = rest[n*obsSize:]
+	if !sa.HasBackend {
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("fleet: %d trailing bytes after backend-less shard", len(rest))
+		}
+		return sa, nil
+	}
+	if len(rest) < 2*backend.DeviceStatsBinarySize {
+		return nil, fmt.Errorf("fleet: shard backend block truncated")
+	}
+	if err := sa.BaseStats.UnmarshalBinary(rest[:backend.DeviceStatsBinarySize]); err != nil {
+		return nil, err
+	}
+	if err := sa.TestStats.UnmarshalBinary(rest[backend.DeviceStatsBinarySize : 2*backend.DeviceStatsBinarySize]); err != nil {
+		return nil, err
+	}
+	rest = rest[2*backend.DeviceStatsBinarySize:]
+	baseHist, rest, err := takeBlob(rest)
+	if err != nil {
+		return nil, err
+	}
+	testHist, rest, err := takeBlob(rest)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("fleet: %d trailing bytes after shard backend block", len(rest))
+	}
+	sa.BaseHist, sa.TestHist = &backend.Histogram{}, &backend.Histogram{}
+	if err := sa.BaseHist.UnmarshalBinary(baseHist); err != nil {
+		return nil, err
+	}
+	if err := sa.TestHist.UnmarshalBinary(testHist); err != nil {
+		return nil, err
+	}
+	return sa, nil
+}
+
+func appendAcc(b []byte, a *acc) []byte {
+	b = a.w.AppendBinary(b)
+	b = a.p50.AppendBinary(b)
+	b = a.p95.AppendBinary(b)
+	return a.p99.AppendBinary(b)
+}
+
+func decodeAcc(data []byte, a *acc) error {
+	if err := a.w.UnmarshalBinary(data[:stats.WelfordBinarySize]); err != nil {
+		return err
+	}
+	data = data[stats.WelfordBinarySize:]
+	for _, q := range [...]*stats.P2Quantile{&a.p50, &a.p95, &a.p99} {
+		if err := q.UnmarshalBinary(data[:stats.P2QuantileBinarySize]); err != nil {
+			return err
+		}
+		data = data[stats.P2QuantileBinarySize:]
+	}
+	return nil
+}
+
+func appendPolicyAcc(b []byte, p *policyAcc) []byte {
+	b = appendAcc(b, p.energy)
+	b = appendAcc(b, p.standby)
+	b = appendAcc(b, p.wakeups)
+	b = appendAcc(b, p.imperc)
+	b = binary.LittleEndian.AppendUint64(b, uint64(p.perceptibleLate))
+	b = binary.LittleEndian.AppendUint64(b, uint64(p.graceLate))
+	b = appendFloat(b, p.maxPerceptibleDelay)
+	if p.hist == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = p.bk.AppendBinary(b)
+	return appendBlob(b, p.hist.AppendBinary(nil))
+}
+
+func decodePolicyAcc(data []byte, p *policyAcc) (rest []byte, err error) {
+	const fixed = 4*accSize + 8 + 8 + 8 + 1
+	if len(data) < fixed {
+		return nil, fmt.Errorf("fleet: policy accumulator block truncated")
+	}
+	for _, a := range [...]*acc{p.energy, p.standby, p.wakeups, p.imperc} {
+		if err := decodeAcc(data, a); err != nil {
+			return nil, err
+		}
+		data = data[accSize:]
+	}
+	p.perceptibleLate = int(int64(binary.LittleEndian.Uint64(data)))
+	p.graceLate = int(int64(binary.LittleEndian.Uint64(data[8:])))
+	p.maxPerceptibleDelay = math.Float64frombits(binary.LittleEndian.Uint64(data[16:]))
+	if p.perceptibleLate < 0 || p.graceLate < 0 {
+		return nil, fmt.Errorf("fleet: negative guarantee counter in policy accumulator")
+	}
+	hasBackend := data[24]
+	data = data[25:]
+	if hasBackend == 0 {
+		// The aggregate being restored into was built from the spec, so
+		// its hist nil-ness must agree with the state being restored.
+		if p.hist != nil {
+			return nil, fmt.Errorf("fleet: state has no backend block but spec carries a backend model")
+		}
+		return data, nil
+	}
+	if hasBackend != 1 {
+		return nil, fmt.Errorf("fleet: policy backend flag %d, want 0 or 1", hasBackend)
+	}
+	if p.hist == nil {
+		return nil, fmt.Errorf("fleet: state has a backend block but spec carries no backend model")
+	}
+	if len(data) < backend.DeviceStatsBinarySize {
+		return nil, fmt.Errorf("fleet: policy backend counters truncated")
+	}
+	if err := p.bk.UnmarshalBinary(data[:backend.DeviceStatsBinarySize]); err != nil {
+		return nil, err
+	}
+	blob, data, err := takeBlob(data[backend.DeviceStatsBinarySize:])
+	if err != nil {
+		return nil, err
+	}
+	hist := &backend.Histogram{}
+	if err := hist.UnmarshalBinary(blob); err != nil {
+		return nil, err
+	}
+	p.hist = hist
+	return data, nil
+}
+
+// EncodeState serializes the aggregate's complete streaming state into
+// a checksummed WFAG frame. Restoring it and continuing the fold is
+// bit-identical to never having stopped — the checkpoint file uses this
+// to persist the merged prefix of a fleet run.
+func (a *Aggregate) EncodeState() []byte {
+	payload := make([]byte, 0, 2*4096)
+	hash := SpecHash(a.spec)
+	payload = append(payload, hash[:]...)
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(a.devices))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(a.leaky))
+	payload = appendPolicyAcc(payload, a.base)
+	payload = appendPolicyAcc(payload, a.test)
+	payload = appendAcc(payload, a.total)
+	payload = appendAcc(payload, a.awake)
+	payload = appendAcc(payload, a.standby)
+	return frame(stateMagic, appendAcc(payload, a.wakeup))
+}
+
+// RestoreState replaces the aggregate's streaming state with one
+// serialized by EncodeState. The frame's spec hash must match the
+// aggregate's spec — a checkpoint from an edited spec is an error, not
+// a merge.
+func (a *Aggregate) RestoreState(data []byte) error {
+	payload, err := unframe(stateMagic, data)
+	if err != nil {
+		return err
+	}
+	if len(payload) < 32+16 {
+		return fmt.Errorf("fleet: state payload is %d bytes, want at least %d", len(payload), 32+16)
+	}
+	var hash [32]byte
+	copy(hash[:], payload[:32])
+	if want := SpecHash(a.spec); hash != want {
+		return fmt.Errorf("fleet: state spec hash %x does not match aggregate spec %x", hash[:4], want[:4])
+	}
+	// Decode into a fresh aggregate so a mid-payload error cannot leave
+	// a half-restored state behind.
+	fresh := NewAggregate(a.spec)
+	fresh.devices = int(int64(binary.LittleEndian.Uint64(payload[32:])))
+	fresh.leaky = int(int64(binary.LittleEndian.Uint64(payload[40:])))
+	if fresh.devices < 0 || fresh.leaky < 0 || fresh.leaky > fresh.devices || fresh.devices > a.spec.Devices {
+		return fmt.Errorf("fleet: state counts %d devices (%d leaky) for a fleet of %d", fresh.devices, fresh.leaky, a.spec.Devices)
+	}
+	rest := payload[48:]
+	if rest, err = decodePolicyAcc(rest, fresh.base); err != nil {
+		return err
+	}
+	if rest, err = decodePolicyAcc(rest, fresh.test); err != nil {
+		return err
+	}
+	if len(rest) != 4*accSize {
+		return fmt.Errorf("fleet: state savings block is %d bytes, want %d", len(rest), 4*accSize)
+	}
+	for _, ac := range [...]*acc{fresh.total, fresh.awake, fresh.standby, fresh.wakeup} {
+		if err := decodeAcc(rest, ac); err != nil {
+			return err
+		}
+		rest = rest[accSize:]
+	}
+	*a = *fresh
+	return nil
+}

@@ -1,0 +1,225 @@
+package fleet
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestShardCodecRoundTrip: EncodeShard/DecodeShard reproduce the shard
+// exactly (DeepEqual over every row and pre-fold) and the encoding is
+// deterministic, for both fleet shapes.
+func TestShardCodecRoundTrip(t *testing.T) {
+	for name, spec := range shardSpecs() {
+		t.Run(name, func(t *testing.T) {
+			for _, sa := range runShards(t, spec, 7) {
+				blob := EncodeShard(sa)
+				if string(blob) != string(EncodeShard(sa)) {
+					t.Fatal("shard encoding is not deterministic")
+				}
+				got, err := DecodeShard(blob)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, sa) {
+					t.Fatalf("shard [%d, %d) round trip mismatch", sa.Lo, sa.Hi)
+				}
+			}
+		})
+	}
+}
+
+// TestShardCodecRejectsBadFrames pins every rejection path of the
+// envelope and payload: truncation, trailing bytes, magic/version skew,
+// checksum damage, and structural inconsistencies.
+func TestShardCodecRejectsBadFrames(t *testing.T) {
+	spec := shardSpecs()["backend"]
+	sa := runShards(t, spec, 8)[0]
+	blob := EncodeShard(sa)
+
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), blob...)
+		f(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"empty":            nil,
+		"truncated header": blob[:6],
+		"truncated body":   blob[:len(blob)-5],
+		"trailing bytes":   append(append([]byte(nil), blob...), 0xaa),
+		"bad magic":        mutate(func(b []byte) { b[0] = 'X' }),
+		"bad version":      mutate(func(b []byte) { b[4], b[5] = 0xff, 0xff }),
+		"flipped bit":      mutate(func(b []byte) { b[len(b)/2] ^= 0x40 }),
+		"damaged crc":      mutate(func(b []byte) { b[len(b)-1] ^= 0x01 }),
+	}
+	for name, b := range cases {
+		if _, err := DecodeShard(b); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+
+	// Structural damage behind a recomputed (valid) checksum: the range
+	// no longer matches the row count.
+	reframed := func(f func(b []byte)) []byte {
+		payload := append([]byte(nil), blob[frameHeaderSize:len(blob)-4]...)
+		f(payload)
+		return frame(shardMagic, payload)
+	}
+	if _, err := DecodeShard(reframed(func(p []byte) { p[4] = 0xee })); err == nil {
+		t.Error("inconsistent shard range accepted")
+	}
+	if _, err := DecodeShard(reframed(func(p []byte) { p[52] = 7 })); err == nil {
+		t.Error("invalid backend flag accepted")
+	}
+
+	// A state frame is not a shard frame.
+	if _, err := DecodeShard(NewAggregate(spec).EncodeState()); err == nil {
+		t.Error("state frame accepted as shard frame")
+	}
+}
+
+// TestStateRoundTripContinues is the checkpoint-resume property at the
+// aggregate layer: snapshot the state mid-merge, restore it into a
+// fresh aggregate, continue merging the remaining shards, and the final
+// Summary JSON must be byte-identical to the uninterrupted merge — for
+// every split point, in both fleet shapes.
+func TestStateRoundTripContinues(t *testing.T) {
+	for name, spec := range shardSpecs() {
+		t.Run(name, func(t *testing.T) {
+			shards := runShards(t, spec, 6)
+			ref := NewAggregate(spec)
+			for _, sa := range shards {
+				if err := ref.MergeShard(sa); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := marshalSummary(t, ref.Summary())
+
+			for split := 0; split <= len(shards); split++ {
+				first := NewAggregate(spec)
+				for _, sa := range shards[:split] {
+					if err := first.MergeShard(sa); err != nil {
+						t.Fatal(err)
+					}
+				}
+				state := first.EncodeState()
+				resumed := NewAggregate(spec)
+				if err := resumed.RestoreState(state); err != nil {
+					t.Fatal(err)
+				}
+				if resumed.Devices() != first.Devices() {
+					t.Fatalf("split %d: restored %d devices, want %d", split, resumed.Devices(), first.Devices())
+				}
+				for _, sa := range shards[split:] {
+					if err := resumed.MergeShard(sa); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if got := marshalSummary(t, resumed.Summary()); string(got) != string(want) {
+					t.Fatalf("split %d: resumed summary diverged:\n got %s\nwant %s", split, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestStateCodecRejectsBadFrames: corrupt or mismatched state frames
+// restore nothing.
+func TestStateCodecRejectsBadFrames(t *testing.T) {
+	spec := shardSpecs()["backend"]
+	shards := runShards(t, spec, 8)
+	agg := NewAggregate(spec)
+	if err := agg.MergeShard(shards[0]); err != nil {
+		t.Fatal(err)
+	}
+	state := agg.EncodeState()
+
+	into := NewAggregate(spec)
+	for name, b := range map[string][]byte{
+		"empty":          nil,
+		"truncated":      state[:len(state)-9],
+		"trailing bytes": append(append([]byte(nil), state...), 1),
+	} {
+		if err := into.RestoreState(b); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	flipped := append([]byte(nil), state...)
+	flipped[len(flipped)/3] ^= 0x10
+	if err := into.RestoreState(flipped); err == nil {
+		t.Error("flipped bit accepted")
+	}
+
+	other := spec
+	other.Seed++
+	if err := NewAggregate(other).RestoreState(state); err == nil {
+		t.Error("state restored into aggregate with different spec")
+	}
+
+	// A shard frame is not a state frame.
+	if err := into.RestoreState(EncodeShard(shards[0])); err == nil {
+		t.Error("shard frame accepted as state frame")
+	}
+
+	// A restore that fails must leave the aggregate untouched.
+	before := marshalSummary(t, into.Summary())
+	if err := into.RestoreState(flipped); err == nil {
+		t.Fatal("flipped bit accepted")
+	}
+	if after := marshalSummary(t, into.Summary()); string(after) != string(before) {
+		t.Error("failed restore mutated the aggregate")
+	}
+}
+
+func benchShard(b *testing.B) *ShardAggregate {
+	b.Helper()
+	spec := Spec{Devices: 256, Seed: 9, Hours: 0.1}.WithDefaults()
+	sa, err := RunShard(context.Background(), spec, 0, 256, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sa
+}
+
+// BenchmarkEncodeShard serializes a 256-device shard.
+func BenchmarkEncodeShard(b *testing.B) {
+	sa := benchShard(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if blob := EncodeShard(sa); len(blob) == 0 {
+			b.Fatal("empty frame")
+		}
+	}
+}
+
+// BenchmarkDecodeShard parses and validates the same frame.
+func BenchmarkDecodeShard(b *testing.B) {
+	blob := EncodeShard(benchShard(b))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeShard(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStateRoundTrip encodes and restores the aggregate state —
+// the per-checkpoint cost of the supervisor's WAL append.
+func BenchmarkStateRoundTrip(b *testing.B) {
+	spec := Spec{Devices: 256, Seed: 9, Hours: 0.1}.WithDefaults()
+	sa := benchShard(b)
+	agg := NewAggregate(spec)
+	if err := agg.MergeShard(sa); err != nil {
+		b.Fatal(err)
+	}
+	into := NewAggregate(spec)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := into.RestoreState(agg.EncodeState()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

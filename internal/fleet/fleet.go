@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -89,7 +90,7 @@ type Result struct {
 // contributes nothing. Only a spec that fails validation returns a nil
 // Result.
 func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
-	spec = spec.withDefaults()
+	spec = spec.WithDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -103,7 +104,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 	}
 
 	start := time.Now()
-	agg := newAggregate(spec)
+	agg := NewAggregate(spec)
 	runOpts := sim.RunAllOptions{Workers: opts.Workers}
 	devices := make([]Device, 0, shard)
 	cfgs := make([]sim.Config, 0, 2*shard)
@@ -134,8 +135,16 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 		}
 		rs, err := sim.RunAll(ctx, cfgs, runOpts)
 		if err != nil {
-			return &Result{Spec: spec, Agg: agg, Wall: time.Since(start)},
-				fmt.Errorf("fleet: devices %d–%d (aggregate holds %d): %w", lo, hi-1, agg.Devices(), err)
+			partial := &Result{Spec: spec, Agg: agg, Wall: time.Since(start)}
+			// Distinguish the caller abandoning the fleet from a shard
+			// failing: a cancelled (or deadline-expired) context is not a
+			// device-range error, and callers classify it with errors.Is,
+			// so surface it as the fleet being cancelled rather than
+			// blaming the shard that happened to be in flight.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return partial, fmt.Errorf("fleet: cancelled after %d devices: %w", agg.Devices(), err)
+			}
+			return partial, fmt.Errorf("fleet: devices %d–%d (aggregate holds %d): %w", lo, hi-1, agg.Devices(), err)
 		}
 		// Fold in device order and drop the results as we go — rs is
 		// the only reference keeping each run's Records alive.

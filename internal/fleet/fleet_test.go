@@ -100,7 +100,7 @@ func TestRunTenThousandDevices(t *testing.T) {
 }
 
 func TestSpecValidation(t *testing.T) {
-	valid := func() Spec { return Spec{Devices: 4}.withDefaults() }
+	valid := func() Spec { return Spec{Devices: 4}.WithDefaults() }
 	cases := []struct {
 		name    string
 		mutate  func(*Spec)
@@ -142,7 +142,7 @@ func TestSpecValidation(t *testing.T) {
 }
 
 func TestSpecDefaults(t *testing.T) {
-	s := Spec{Devices: 1}.withDefaults()
+	s := Spec{Devices: 1}.WithDefaults()
 	if s.Hours != 3 || s.BasePolicy != "NATIVE" || s.TestPolicy != "SIMTY" {
 		t.Errorf("defaults = %v h, %s vs %s", s.Hours, s.BasePolicy, s.TestPolicy)
 	}

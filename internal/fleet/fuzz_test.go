@@ -43,7 +43,7 @@ func FuzzFleetSpec(f *testing.F) {
 					t.Fatalf("device %d leaks %q, which is not installed", i, d.LeakApp)
 				}
 			}
-			s := spec.withDefaults()
+			s := spec.WithDefaults()
 			for _, policy := range []string{s.BasePolicy, s.TestPolicy} {
 				cfg := spec.Config(d, policy)
 				if len(cfg.Workload) != len(d.Workload) {

@@ -153,8 +153,8 @@ type Spec struct {
 	AlignedPhases bool `json:"aligned_phases,omitempty"`
 }
 
-// withDefaults fills zero fields with the documented defaults.
-func (s Spec) withDefaults() Spec {
+// WithDefaults fills zero fields with the documented defaults.
+func (s Spec) WithDefaults() Spec {
 	if s.Hours == 0 {
 		s.Hours = 3
 	}
@@ -234,7 +234,7 @@ func ReadSpec(r io.Reader) (Spec, error) {
 	if err := dec.Decode(&s); err != nil {
 		return Spec{}, fmt.Errorf("fleet: decode spec: %w", err)
 	}
-	if err := s.withDefaults().Validate(); err != nil {
+	if err := s.WithDefaults().Validate(); err != nil {
 		return Spec{}, err
 	}
 	return s, nil
@@ -285,7 +285,7 @@ func mix(seed int64, i int) int64 {
 // size, app permutation, one-shots, pushes, screens, jitter, battery
 // scale, then the leak decision.
 func (s Spec) SampleDevice(i int) Device {
-	s = s.withDefaults()
+	s = s.WithDefaults()
 	rng := simclock.Rand(mix(s.Seed, i))
 	d := Device{Index: i, Seed: mix(^s.Seed, i)}
 
@@ -321,7 +321,7 @@ func (s Spec) SampleDevice(i int) Device {
 // Configs of the same device differ only in the policy, so a base/test
 // pair is a controlled comparison.
 func (s Spec) Config(d Device, policy string) sim.Config {
-	s = s.withDefaults()
+	s = s.WithDefaults()
 	cfg := sim.Config{
 		Name:                  fmt.Sprintf("dev%06d", d.Index),
 		Policy:                policy,

@@ -16,7 +16,10 @@
 //	DELETE /runs/{id}          cancel (also /fleets/{id})
 //	GET    /runs/{id}/events   SSE: state transitions
 //	GET    /fleets/{id}/events SSE: per-run + per-device progress,
-//	                           aggregate snapshots, final summary
+//	                           aggregate snapshots, final summary (and
+//	                           per-shard worker lifecycle events when
+//	                           the daemon executes fleets across
+//	                           processes, Options.Procs > 0)
 //	GET    /healthz            liveness + store occupancy
 //	GET    /readyz             readiness: 503 once the store is draining
 package httpapi
@@ -31,6 +34,7 @@ import (
 
 	"repro/internal/fleet"
 	"repro/internal/runstore"
+	"repro/internal/shardexec"
 	"repro/internal/sim"
 )
 
@@ -50,6 +54,19 @@ type Options struct {
 	// stay byte-silent — the comment frames keep the connection alive
 	// without adding events a client has to parse.
 	Heartbeat time.Duration
+	// Procs, when > 0, executes fleets through the multi-process shard
+	// supervisor (internal/shardexec) instead of the in-process pool:
+	// crashed workers are retried, the SSE stream gains "shard"
+	// lifecycle events, and the summary stays byte-identical.
+	Procs int
+	// ShardSize is the device range per worker process when Procs > 0;
+	// ≤ 0 means shardexec.DefaultShardSize.
+	ShardSize int
+	// WorkerArgv/WorkerEnv forward to shardexec.Options: the worker
+	// command line (empty means this executable -shardworker) and extra
+	// child environment entries.
+	WorkerArgv []string
+	WorkerEnv  []string
 }
 
 // DefaultHeartbeat is the idle SSE keep-alive interval when
@@ -195,7 +212,69 @@ type snapshotData struct {
 	Summary fleet.Summary `json:"summary"`
 }
 
+// shardData is the payload of "shard" SSE events: one transition in a
+// worker-process shard's lifecycle (sharded executions only).
+type shardData struct {
+	Index   int    `json:"index"`
+	Lo      int    `json:"lo"`
+	Hi      int    `json:"hi"`
+	Attempt int    `json:"attempt,omitempty"`
+	State   string `json:"state"`
+	Error   string `json:"error,omitempty"`
+}
+
+// shardedFleetExec executes the fleet through the multi-process shard
+// supervisor. The progress surface matches fleetExec (same "device" and
+// "snapshot" events, same partial-result contract) plus per-shard
+// lifecycle events and live attempt/retry counters on the stored run.
+func (s *Server) shardedFleetExec(spec fleet.Spec) runstore.Exec {
+	return func(ctx context.Context, h runstore.Handle) (any, error) {
+		var attempts, retries int
+		opts := shardexec.Options{
+			Procs:         s.opts.Procs,
+			ShardSize:     s.opts.ShardSize,
+			Workers:       s.opts.Workers,
+			WorkerArgv:    s.opts.WorkerArgv,
+			WorkerEnv:     s.opts.WorkerEnv,
+			SnapshotEvery: s.opts.SnapshotEvery,
+			Progress: func(done, total int) {
+				h.SetProgress(done, total)
+				h.Publish(runstore.Event{Type: "device", Data: deviceData{Done: done, Total: total}})
+			},
+			Snapshot: func(done, total int, sum fleet.Summary) {
+				h.Publish(runstore.Event{Type: "snapshot", Data: snapshotData{Done: done, Total: total, Summary: sum}})
+			},
+			OnShard: func(ev shardexec.ShardEvent) {
+				// OnShard calls are serialized by the supervisor.
+				if ev.State == "start" {
+					attempts++
+					if ev.Attempt > 1 {
+						retries++
+					}
+					h.SetShardStats(attempts, retries)
+				}
+				h.Publish(runstore.Event{Type: "shard", Data: shardData{
+					Index: ev.Index, Lo: ev.Lo, Hi: ev.Hi,
+					Attempt: ev.Attempt, State: ev.State, Error: ev.Err,
+				}})
+			},
+		}
+		r, err := shardexec.Run(ctx, spec, opts)
+		if r == nil {
+			return nil, err
+		}
+		h.SetShardStats(r.Attempts, r.Retries)
+		if err != nil && r.Agg.Devices() == 0 {
+			return nil, err
+		}
+		return r.Agg.Summary(), err
+	}
+}
+
 func (s *Server) fleetExec(spec fleet.Spec) runstore.Exec {
+	if s.opts.Procs > 0 {
+		return s.shardedFleetExec(spec)
+	}
 	return func(ctx context.Context, h runstore.Handle) (any, error) {
 		opts := fleet.Options{
 			Workers:       s.opts.Workers,

@@ -29,6 +29,15 @@ type Options struct {
 	// Progress, when non-nil, receives one callback per finished run
 	// (forwarded to the parallel runner).
 	Progress func(sim.Progress)
+	// Procs, when > 0, executes the fleet experiment across supervised
+	// worker OS processes (internal/shardexec) instead of the in-process
+	// pool; the resulting table is byte-identical.
+	Procs int
+	// WorkerArgv/WorkerEnv forward to shardexec.Options when Procs > 0:
+	// the worker command line (empty means this executable with
+	// -shardworker) and extra child environment entries.
+	WorkerArgv []string
+	WorkerEnv  []string
 }
 
 // runOpts forwards the pool tuning to the parallel runner.

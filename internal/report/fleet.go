@@ -3,8 +3,10 @@ package report
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/shardexec"
 	"repro/internal/sim"
 	"repro/internal/simclock"
 )
@@ -30,12 +32,14 @@ func fleetSpec(o Options) fleet.Spec {
 // Fleet scales the paper's single-device comparison to a simulated
 // population: the NATIVE-vs-SIMTY savings distribution across
 // heterogeneous devices, streamed through memory-bounded aggregates.
+// With Options.Procs > 0 the population runs across supervised worker
+// processes instead; the table is byte-identical either way.
 func Fleet(o Options) (*Table, error) {
 	o = o.withDefaults()
 	spec := fleetSpec(o)
-	fo := fleet.Options{Workers: o.Workers}
+	var progress func(done, total int)
 	if o.Progress != nil {
-		fo.Progress = func(done, total int) {
+		progress = func(done, total int) {
 			// One callback per fleet percentile keeps -progress readable
 			// at 10k devices.
 			if step := total / 100; step <= 1 || done%step == 0 || done == total {
@@ -44,11 +48,28 @@ func Fleet(o Options) (*Table, error) {
 			}
 		}
 	}
-	r, err := fleet.Run(context.Background(), spec, fo)
-	if err != nil {
-		return nil, err
+	var agg *fleet.Aggregate
+	var wall time.Duration
+	if o.Procs > 0 {
+		r, err := shardexec.Run(context.Background(), spec, shardexec.Options{
+			Procs:      o.Procs,
+			Workers:    o.Workers,
+			WorkerArgv: o.WorkerArgv,
+			WorkerEnv:  o.WorkerEnv,
+			Progress:   progress,
+		})
+		if err != nil {
+			return nil, err
+		}
+		agg, wall = r.Agg, r.Wall
+	} else {
+		r, err := fleet.Run(context.Background(), spec, fleet.Options{Workers: o.Workers, Progress: progress})
+		if err != nil {
+			return nil, err
+		}
+		agg, wall = r.Agg, r.Wall
 	}
-	s := r.Agg.Summary()
+	s := agg.Summary()
 
 	t := &Table{ID: "fleet",
 		Title: fmt.Sprintf("Fleet: %s vs %s across %d heterogeneous devices (%.1f h horizon)",
@@ -69,7 +90,7 @@ func Fleet(o Options) (*Table, error) {
 	addDist(s.TestPolicy+" imperc delay (%)", s.Test.ImperceptibleDelay, 100, 1)
 
 	t.AddNote("%d devices (%d with an injected wakelock leak) streamed through online aggregates in %.1fs; P50/P95/P99 are P² estimates.",
-		s.Devices, s.LeakyDevices, r.Wall.Seconds())
+		s.Devices, s.LeakyDevices, wall.Seconds())
 	t.AddNote("%s delivered %d perceptible alarms past their window (max normalized delay %.3f); %d wakeup alarms past grace. Nonzero counts under real wake latency come from the 0.4–1.4 s resume time, not the policy.",
 		s.TestPolicy, s.Test.PerceptibleLate, s.Test.MaxPerceptibleDelay, s.Test.GraceLate)
 	return t, nil

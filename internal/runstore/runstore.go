@@ -67,6 +67,11 @@ type Run struct {
 	// (devices for a fleet).
 	Done  int `json:"done,omitempty"`
 	Total int `json:"total,omitempty"`
+	// Attempts/Retries count worker-process launches when the run is
+	// backed by the multi-process shard supervisor
+	// (internal/shardexec); both stay zero for in-process runs.
+	Attempts int `json:"attempts,omitempty"`
+	Retries  int `json:"retries,omitempty"`
 	// Error is the failure, when State is failed (or cancelled with a
 	// cause).
 	Error string `json:"error,omitempty"`
@@ -93,6 +98,14 @@ func (h Handle) Publish(ev Event) { h.e.publish(ev) }
 func (h Handle) SetProgress(done, total int) {
 	h.e.mu.Lock()
 	h.e.run.Done, h.e.run.Total = done, total
+	h.e.mu.Unlock()
+}
+
+// SetShardStats updates the entry's shard-supervisor counters, visible
+// in Get/List snapshots while a multi-process fleet executes.
+func (h Handle) SetShardStats(attempts, retries int) {
+	h.e.mu.Lock()
+	h.e.run.Attempts, h.e.run.Retries = attempts, retries
 	h.e.mu.Unlock()
 }
 

@@ -1,0 +1,531 @@
+package shardexec
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// Defaults for the supervisor knobs.
+const (
+	// DefaultShardSize is the device range per worker process. It is
+	// deliberately much larger than fleet.DefaultShardSize (the
+	// in-process batch size): a process carries fork/exec and
+	// serialization overhead, so shards are coarse and workers batch
+	// internally.
+	DefaultShardSize = 2048
+	// DefaultMaxAttempts is how many times a shard runs before it is
+	// quarantined.
+	DefaultMaxAttempts = 3
+	// DefaultRetryBackoff is the pause before the first retry; it
+	// doubles per retry up to maxRetryBackoff.
+	DefaultRetryBackoff = 250 * time.Millisecond
+	maxRetryBackoff     = 5 * time.Second
+	// DefaultCheckpointEvery is how many merged shards separate 'A'
+	// (aggregate state) records in the checkpoint.
+	DefaultCheckpointEvery = 1
+)
+
+// Options tune a supervised multi-process fleet run.
+type Options struct {
+	// Procs bounds concurrently running worker processes; ≤ 0 means
+	// GOMAXPROCS (and never more than the shard count).
+	Procs int
+	// ShardSize is the device range per worker process; ≤ 0 means
+	// DefaultShardSize. A resumed run must use the checkpoint's value.
+	ShardSize int
+	// Workers bounds each worker's in-process sim pool; ≤ 0 lets the
+	// worker use its GOMAXPROCS.
+	Workers int
+	// WorkerTimeout is the per-attempt deadline; a worker still running
+	// when it expires is killed and the attempt counts as failed. ≤ 0
+	// means no deadline.
+	WorkerTimeout time.Duration
+	// MaxAttempts is how many times one shard may run before being
+	// quarantined; ≤ 0 means DefaultMaxAttempts.
+	MaxAttempts int
+	// RetryBackoff is the pause before a shard's first retry, doubling
+	// per retry (capped); ≤ 0 means DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// Checkpoint, when non-empty, is the path of the append-only
+	// checkpoint log. An interrupted run restarted with Resume re-runs
+	// only the shards the log is missing.
+	Checkpoint string
+	// Resume loads an existing checkpoint at Checkpoint instead of
+	// truncating it. The log's spec hash, device count, and shard size
+	// must match. A missing or empty file starts fresh.
+	Resume bool
+	// CheckpointEvery is how many merged shards separate aggregate-state
+	// records in the log; ≤ 0 means DefaultCheckpointEvery.
+	CheckpointEvery int
+	// WorkerArgv is the child command line; empty means the current
+	// executable with the single argument "-shardworker" (the wakesim
+	// protocol). Tests point this at a re-executed test binary.
+	WorkerArgv []string
+	// WorkerEnv entries are appended to the parent environment for each
+	// worker.
+	WorkerEnv []string
+	// Progress, when non-nil, is called after each shard merge with
+	// devices merged so far and the fleet size. Calls arrive in merge
+	// (device) order from the supervisor goroutine.
+	Progress func(done, total int)
+	// Snapshot, when non-nil, receives a Summary of the merged prefix
+	// every SnapshotEvery merged shards and after the final merge.
+	Snapshot func(done, total int, s fleet.Summary)
+	// SnapshotEvery is in merged shards; ≤ 0 means every merge.
+	SnapshotEvery int
+	// OnShard, when non-nil, observes the per-shard lifecycle (start,
+	// ok, retry, quarantine, cached). Calls may arrive from worker
+	// goroutines; they are serialized by an internal lock.
+	OnShard func(ev ShardEvent)
+}
+
+// ShardEvent is one observable transition in a shard's lifecycle.
+type ShardEvent struct {
+	Index, Lo, Hi int
+	// Attempt is the attempt the event refers to (0 for "cached").
+	Attempt int
+	// State is one of "start", "ok", "retry", "quarantine", "cached".
+	State string
+	// Err carries the failure text for "retry" and "quarantine".
+	Err string
+}
+
+// Result is a finished (or partially finished) supervised run.
+type Result struct {
+	Spec fleet.Spec
+	// Agg holds the merged aggregate: the whole fleet on success, the
+	// longest contiguous device prefix on quarantine or cancellation.
+	Agg *fleet.Aggregate
+	// Shards is the plan size; Completed counts shards merged into Agg.
+	Shards, Completed int
+	// Resumed counts shards recovered from the checkpoint instead of
+	// re-run.
+	Resumed int
+	// Attempts counts worker processes launched; Retries counts the
+	// attempts beyond each shard's first. A crash-free run has
+	// Attempts == Shards - Resumed and Retries == 0.
+	Attempts, Retries int
+	// Quarantined lists shard indices that exhausted their attempts.
+	Quarantined []int
+	Wall        time.Duration
+}
+
+// shardResult crosses from a worker goroutine back to the supervisor.
+type shardResult struct {
+	index    int
+	frame    []byte
+	sa       *fleet.ShardAggregate
+	attempts int
+	err      error
+	// skipped marks jobs drained after an abort; they consumed no
+	// attempts and carry no error.
+	skipped bool
+}
+
+// Run executes the spec's fleet across worker processes and merges the
+// shard results in device order, so the Summary of the returned
+// aggregate is byte-identical to a single-process fleet.Run of the same
+// spec — regardless of Procs, ShardSize, worker crashes, retries, or a
+// checkpoint resume in the middle.
+//
+// Error contract (mirroring fleet.Run): a quarantined shard or a
+// cancelled context returns the partial *Result alongside the error —
+// the aggregate holds the longest contiguous device prefix, and the
+// error joins every quarantined shard's attempt errors. Cancellation is
+// classified: errors.Is(err, context.Canceled) (or DeadlineExceeded)
+// identifies a caller abort rather than a shard failure. Only a spec or
+// options failure returns a nil Result.
+func Run(ctx context.Context, spec fleet.Spec, opts Options) (*Result, error) {
+	start := time.Now()
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	shardSize := opts.ShardSize
+	if shardSize <= 0 {
+		shardSize = DefaultShardSize
+	}
+	maxAttempts := opts.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = DefaultMaxAttempts
+	}
+	backoff0 := opts.RetryBackoff
+	if backoff0 <= 0 {
+		backoff0 = DefaultRetryBackoff
+	}
+	ckEvery := opts.CheckpointEvery
+	if ckEvery <= 0 {
+		ckEvery = DefaultCheckpointEvery
+	}
+	snapEvery := opts.SnapshotEvery
+	if snapEvery <= 0 {
+		snapEvery = 1
+	}
+	argv := opts.WorkerArgv
+	if len(argv) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("shardexec: locate worker executable: %w", err)
+		}
+		argv = []string{exe, "-shardworker"}
+	}
+
+	shards := (spec.Devices + shardSize - 1) / shardSize
+	procs := opts.Procs
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	if procs > shards {
+		procs = shards
+	}
+
+	var onShardMu sync.Mutex
+	emit := func(ev ShardEvent) {
+		if opts.OnShard != nil {
+			onShardMu.Lock()
+			opts.OnShard(ev)
+			onShardMu.Unlock()
+		}
+	}
+	rangeOf := func(index int) (lo, hi int) {
+		lo = index * shardSize
+		hi = lo + shardSize
+		if hi > spec.Devices {
+			hi = spec.Devices
+		}
+		return lo, hi
+	}
+
+	res := &Result{Spec: spec, Shards: shards, Agg: fleet.NewAggregate(spec)}
+	merged := 0 // shards folded into res.Agg
+	// pending holds completed shards waiting for their turn in the
+	// device-order merge (out-of-order worker completions, and
+	// checkpointed shards beyond a gap).
+	pending := make(map[int]*fleet.ShardAggregate)
+
+	var ck *checkpoint
+	if opts.Checkpoint != "" {
+		var st *checkpointState
+		var err error
+		ck, st, err = openOrCreate(opts.Checkpoint, spec, shardSize, opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer ck.Close()
+		if st != nil {
+			if err := restoreFromCheckpoint(res, st, pending, &merged, shardSize); err != nil {
+				return nil, err
+			}
+			for idx := range pending {
+				lo, hi := rangeOf(idx)
+				emit(ShardEvent{Index: idx, Lo: lo, Hi: hi, State: "cached"})
+			}
+			for i := 0; i < merged; i++ {
+				lo, hi := rangeOf(i)
+				emit(ShardEvent{Index: i, Lo: lo, Hi: hi, State: "cached"})
+			}
+		}
+	}
+
+	// The plan: every shard not recovered from the checkpoint.
+	var todo []int
+	for i := merged; i < shards; i++ {
+		if _, ok := pending[i]; !ok {
+			todo = append(todo, i)
+		}
+	}
+	res.Resumed = shards - len(todo)
+
+	jobs := make(chan int)
+	results := make(chan shardResult)
+	var aborted atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < procs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				if aborted.Load() || ctx.Err() != nil {
+					results <- shardResult{index: idx, skipped: true}
+					continue
+				}
+				lo, hi := rangeOf(idx)
+				m := NewManifest(spec, idx, lo, hi, opts.Workers)
+				results <- runShardProcess(ctx, m, argv, opts.WorkerEnv, opts.WorkerTimeout, maxAttempts, backoff0, emit)
+			}
+		}()
+	}
+	go func() {
+		for _, idx := range todo {
+			jobs <- idx
+		}
+		close(jobs)
+	}()
+
+	// mergeReady folds every contiguously-available shard, emitting
+	// progress, snapshots, and checkpoint state records as it goes.
+	var mergeErr error
+	sinceState := 0
+	mergeReady := func() {
+		for {
+			sa, ok := pending[merged]
+			if !ok {
+				return
+			}
+			if err := res.Agg.MergeShard(sa); err != nil {
+				// A merge failure is a supervisor bug or a poisoned
+				// checkpoint; surface it and stop merging.
+				if mergeErr == nil {
+					mergeErr = err
+					aborted.Store(true)
+				}
+				return
+			}
+			delete(pending, merged)
+			merged++
+			res.Completed++
+			sinceState++
+			if opts.Progress != nil {
+				opts.Progress(res.Agg.Devices(), spec.Devices)
+			}
+			if opts.Snapshot != nil && (merged%snapEvery == 0 || merged == shards) {
+				opts.Snapshot(res.Agg.Devices(), spec.Devices, res.Agg.Summary())
+			}
+			if ck != nil && (sinceState >= ckEvery || merged == shards) {
+				if err := ck.appendState(merged, res.Agg.EncodeState()); err != nil && mergeErr == nil {
+					mergeErr = err
+					aborted.Store(true)
+				}
+				sinceState = 0
+			}
+		}
+	}
+	mergeReady() // checkpointed shards beyond the restored prefix
+
+	var quarantineErrs []error
+	cancelled := false
+	for received := 0; received < len(todo); received++ {
+		r := <-results
+		if r.skipped {
+			continue
+		}
+		res.Attempts += r.attempts
+		if r.attempts > 1 {
+			res.Retries += r.attempts - 1
+		}
+		if r.err != nil {
+			if errors.Is(r.err, context.Canceled) || errors.Is(r.err, context.DeadlineExceeded) {
+				cancelled = true
+			} else {
+				res.Quarantined = append(res.Quarantined, r.index)
+				quarantineErrs = append(quarantineErrs, fmt.Errorf("shard %d: %w", r.index, r.err))
+			}
+			// Either way no more dispatching: the device-order merge
+			// cannot advance past a hole.
+			aborted.Store(true)
+			continue
+		}
+		if ck != nil {
+			if err := ck.appendShard(r.frame); err != nil && mergeErr == nil {
+				mergeErr = err
+				aborted.Store(true)
+			}
+		}
+		pending[r.index] = r.sa
+		mergeReady()
+	}
+	wg.Wait()
+	close(results)
+	res.Wall = time.Since(start)
+
+	sort.Ints(res.Quarantined)
+	switch {
+	case mergeErr != nil:
+		return res, fmt.Errorf("shardexec: merge failed after %d devices: %w", res.Agg.Devices(), mergeErr)
+	case cancelled && len(quarantineErrs) == 0:
+		return res, fmt.Errorf("shardexec: cancelled after %d devices: %w", res.Agg.Devices(), context.Cause(ctx))
+	case len(quarantineErrs) > 0:
+		return res, fmt.Errorf("shardexec: %d of %d shards quarantined (aggregate holds %d devices): %w",
+			len(res.Quarantined), shards, res.Agg.Devices(), errors.Join(quarantineErrs...))
+	default:
+		return res, nil
+	}
+}
+
+// openOrCreate resolves the checkpoint file: load-and-validate when
+// resuming onto an existing log, fresh log otherwise.
+func openOrCreate(path string, spec fleet.Spec, shardSize int, resume bool) (*checkpoint, *checkpointState, error) {
+	if resume {
+		if info, err := os.Stat(path); err == nil && info.Size() > 0 {
+			ck, st, err := loadCheckpoint(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			hash := fleet.SpecHash(spec)
+			if st.header.SpecHash != hex.EncodeToString(hash[:]) {
+				ck.Close()
+				return nil, nil, fmt.Errorf("shardexec: checkpoint %s was written for a different spec", path)
+			}
+			if st.header.ShardSize != shardSize {
+				ck.Close()
+				return nil, nil, fmt.Errorf("shardexec: checkpoint shard size %d does not match requested %d", st.header.ShardSize, shardSize)
+			}
+			if st.header.Devices != spec.Devices {
+				ck.Close()
+				return nil, nil, fmt.Errorf("shardexec: checkpoint device count %d does not match spec %d", st.header.Devices, spec.Devices)
+			}
+			return ck, st, nil
+		}
+	}
+	ck, err := createCheckpoint(path, spec, shardSize)
+	return ck, nil, err
+}
+
+// restoreFromCheckpoint rebuilds the supervisor's merge state from a
+// loaded log: restore the latest aggregate state, then stage every
+// shard frame at or beyond the restored prefix for the in-order merge.
+func restoreFromCheckpoint(res *Result, st *checkpointState, pending map[int]*fleet.ShardAggregate, merged *int, shardSize int) error {
+	if st.state != nil {
+		if err := res.Agg.RestoreState(st.state); err != nil {
+			return fmt.Errorf("shardexec: restore checkpoint state: %w", err)
+		}
+		*merged = st.foldedShards
+		if got, want := res.Agg.Devices(), prefixDevices(st.foldedShards, shardSize, res.Spec.Devices); got != want {
+			return fmt.Errorf("shardexec: checkpoint state holds %d devices, want %d for %d shards", got, want, st.foldedShards)
+		}
+	}
+	for idx, frame := range st.shards {
+		if idx < *merged {
+			continue // already inside the restored prefix
+		}
+		sa, err := fleet.DecodeShard(frame)
+		if err != nil {
+			return fmt.Errorf("shardexec: checkpoint shard %d: %w", idx, err)
+		}
+		pending[idx] = sa
+	}
+	return nil
+}
+
+// prefixDevices is how many devices the first n shards cover.
+func prefixDevices(n, shardSize, total int) int {
+	d := n * shardSize
+	if d > total {
+		d = total
+	}
+	return d
+}
+
+// runShardProcess executes one shard to completion: launch a worker,
+// validate its output, retry with capped exponential backoff on any
+// failure, and quarantine after maxAttempts. A cancelled parent context
+// is reported as cancellation, never as a shard failure.
+func runShardProcess(ctx context.Context, m Manifest, argv, env []string, timeout time.Duration, maxAttempts int, backoff0 time.Duration, emit func(ShardEvent)) shardResult {
+	var attemptErrs []error
+	backoff := backoff0
+	for attempt := 1; ; attempt++ {
+		m.Attempt = attempt
+		emit(ShardEvent{Index: m.Index, Lo: m.Lo, Hi: m.Hi, Attempt: attempt, State: "start"})
+		frame, sa, err := runWorkerAttempt(ctx, m, argv, env, timeout)
+		if err == nil {
+			emit(ShardEvent{Index: m.Index, Lo: m.Lo, Hi: m.Hi, Attempt: attempt, State: "ok"})
+			return shardResult{index: m.Index, frame: frame, sa: sa, attempts: attempt}
+		}
+		if ctx.Err() != nil {
+			// The parent gave up; the attempt's failure is a symptom,
+			// not a shard fault.
+			return shardResult{index: m.Index, attempts: attempt, err: context.Cause(ctx)}
+		}
+		attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: %w", attempt, err))
+		if attempt >= maxAttempts {
+			emit(ShardEvent{Index: m.Index, Lo: m.Lo, Hi: m.Hi, Attempt: attempt, State: "quarantine", Err: err.Error()})
+			return shardResult{index: m.Index, attempts: attempt, err: errors.Join(attemptErrs...)}
+		}
+		emit(ShardEvent{Index: m.Index, Lo: m.Lo, Hi: m.Hi, Attempt: attempt, State: "retry", Err: err.Error()})
+		select {
+		case <-ctx.Done():
+			return shardResult{index: m.Index, attempts: attempt, err: context.Cause(ctx)}
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxRetryBackoff {
+			backoff = maxRetryBackoff
+		}
+	}
+}
+
+// stderrLimit bounds how much worker stderr is kept for error messages.
+const stderrLimit = 4 << 10
+
+// tailBuffer keeps the last max bytes written to it.
+type tailBuffer struct {
+	max int
+	b   []byte
+}
+
+func (t *tailBuffer) Write(p []byte) (int, error) {
+	t.b = append(t.b, p...)
+	if len(t.b) > t.max {
+		t.b = t.b[len(t.b)-t.max:]
+	}
+	return len(p), nil
+}
+
+// runWorkerAttempt launches one worker process for the manifest and
+// validates everything about its reply: exit status, frame integrity
+// (magic, version, checksum), and that the shard is the one that was
+// asked for.
+func runWorkerAttempt(ctx context.Context, m Manifest, argv, env []string, timeout time.Duration) ([]byte, *fleet.ShardAggregate, error) {
+	actx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	stdin, err := m.Encode()
+	if err != nil {
+		return nil, nil, err
+	}
+	cmd := exec.CommandContext(actx, argv[0], argv[1:]...)
+	cmd.Stdin = bytes.NewReader(stdin)
+	var stdout bytes.Buffer
+	stderr := &tailBuffer{max: stderrLimit}
+	cmd.Stdout = &stdout
+	cmd.Stderr = stderr
+	cmd.Env = append(os.Environ(), env...)
+	// A killed worker whose pipes are still open must not wedge Wait.
+	cmd.WaitDelay = time.Second
+	if err := cmd.Run(); err != nil {
+		if actx.Err() != nil && ctx.Err() == nil {
+			return nil, nil, fmt.Errorf("worker exceeded %v deadline (killed)", timeout)
+		}
+		msg := bytes.TrimSpace(stderr.b)
+		if len(msg) > 0 {
+			return nil, nil, fmt.Errorf("worker failed: %w: %s", err, msg)
+		}
+		return nil, nil, fmt.Errorf("worker failed: %w", err)
+	}
+	frame := stdout.Bytes()
+	sa, err := fleet.DecodeShard(frame)
+	if err != nil {
+		return nil, nil, fmt.Errorf("worker output rejected: %w", err)
+	}
+	if sa.Index != m.Index || sa.Lo != m.Lo || sa.Hi != m.Hi {
+		return nil, nil, fmt.Errorf("worker returned shard %d [%d, %d), want %d [%d, %d)", sa.Index, sa.Lo, sa.Hi, m.Index, m.Lo, m.Hi)
+	}
+	if hex.EncodeToString(sa.SpecHash[:]) != m.SpecHash {
+		return nil, nil, fmt.Errorf("worker returned shard for a different spec")
+	}
+	return frame, sa, nil
+}

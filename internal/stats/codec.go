@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary state codecs for the streaming estimators. The fleet's
+// checkpoint/resume layer (internal/shardexec) snapshots a running
+// aggregate to disk and restores it in a different process, so the
+// round-trip must be exact at the bit level: an estimator restored from
+// its serialized state and fed the remaining observations produces
+// results bit-identical to one that was never serialized. The layout is
+// fixed-width little-endian with float64s stored as their IEEE-754 bit
+// patterns (math.Float64bits), never as formatted text — formatting
+// would round-trip the value but not necessarily the bits of every
+// intermediate state.
+//
+// The codecs carry no magic numbers or checksums of their own: they are
+// building blocks for the framed, checksummed container formats in
+// internal/fleet, which own corruption detection.
+
+// WelfordBinarySize is the exact encoded size of a Welford state:
+// count plus four float64 fields.
+const WelfordBinarySize = 5 * 8
+
+// P2QuantileBinarySize is the exact encoded size of a P2Quantile state:
+// the target quantile, the count, and the four five-element marker
+// arrays.
+const P2QuantileBinarySize = 22 * 8
+
+// AppendBinary appends the accumulator's state to b and returns the
+// extended slice. The encoding is exactly WelfordBinarySize bytes.
+func (w *Welford) AppendBinary(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(w.n))
+	for _, f := range [...]float64{w.mean, w.m2, w.min, w.max} {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+	}
+	return b
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (w *Welford) MarshalBinary() ([]byte, error) {
+	return w.AppendBinary(make([]byte, 0, WelfordBinarySize)), nil
+}
+
+// UnmarshalBinary restores the state written by MarshalBinary. The
+// restored accumulator continues bit-identically to the original.
+func (w *Welford) UnmarshalBinary(data []byte) error {
+	if len(data) != WelfordBinarySize {
+		return fmt.Errorf("stats: welford state is %d bytes, want %d", len(data), WelfordBinarySize)
+	}
+	n := binary.LittleEndian.Uint64(data)
+	if n > math.MaxInt32 {
+		return fmt.Errorf("stats: welford count %d is implausible", n)
+	}
+	w.n = int(n)
+	fs := [4]*float64{&w.mean, &w.m2, &w.min, &w.max}
+	for i, p := range fs {
+		*p = math.Float64frombits(binary.LittleEndian.Uint64(data[8+8*i:]))
+	}
+	return nil
+}
+
+// AppendBinary appends the estimator's state to b and returns the
+// extended slice. The encoding is exactly P2QuantileBinarySize bytes.
+func (e *P2Quantile) AppendBinary(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.p))
+	b = binary.LittleEndian.AppendUint64(b, uint64(e.n))
+	for _, arr := range [...]*[5]float64{&e.q, &e.pos, &e.des, &e.inc} {
+		for _, f := range arr {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+		}
+	}
+	return b
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (e *P2Quantile) MarshalBinary() ([]byte, error) {
+	return e.AppendBinary(make([]byte, 0, P2QuantileBinarySize)), nil
+}
+
+// UnmarshalBinary restores the state written by MarshalBinary. Every
+// marker array is stored verbatim — P² marker adjustment is pure
+// arithmetic over this state, so the restored estimator continues
+// bit-identically to the original.
+func (e *P2Quantile) UnmarshalBinary(data []byte) error {
+	if len(data) != P2QuantileBinarySize {
+		return fmt.Errorf("stats: p2 state is %d bytes, want %d", len(data), P2QuantileBinarySize)
+	}
+	p := math.Float64frombits(binary.LittleEndian.Uint64(data))
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return fmt.Errorf("stats: p2 target quantile %v outside [0, 1]", p)
+	}
+	n := binary.LittleEndian.Uint64(data[8:])
+	if n > math.MaxInt32 {
+		return fmt.Errorf("stats: p2 count %d is implausible", n)
+	}
+	e.p, e.n = p, int(n)
+	off := 16
+	for _, arr := range [...]*[5]float64{&e.q, &e.pos, &e.des, &e.inc} {
+		for i := range arr {
+			arr[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bits compares floats at the bit level: the codec contract is bit
+// exactness, not approximate equality.
+func bits(x float64) uint64 { return math.Float64bits(x) }
+
+// TestWelfordRoundTripExact is the encode/decode property test: for
+// random streams and random split points, serializing mid-stream and
+// continuing on the restored copy must track the uninterrupted original
+// bit for bit, observation by observation.
+func TestWelfordRoundTripExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(200)
+		split := 0
+		if n > 0 {
+			split = rng.Intn(n + 1)
+		}
+		var orig Welford
+		for i := 0; i < split; i++ {
+			orig.Add(rng.NormFloat64() * math.Exp(rng.NormFloat64()*4))
+		}
+		blob, err := orig.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var restored Welford
+		if err := restored.UnmarshalBinary(blob); err != nil {
+			t.Fatal(err)
+		}
+		for i := split; i < n; i++ {
+			x := rng.NormFloat64() * math.Exp(rng.NormFloat64()*4)
+			orig.Add(x)
+			restored.Add(x)
+			if orig.N() != restored.N() ||
+				bits(orig.Mean()) != bits(restored.Mean()) ||
+				bits(orig.Variance()) != bits(restored.Variance()) ||
+				bits(orig.Min()) != bits(restored.Min()) ||
+				bits(orig.Max()) != bits(restored.Max()) ||
+				bits(orig.CI95()) != bits(restored.CI95()) {
+				t.Fatalf("trial %d: restored welford diverged at observation %d: %+v vs %+v", trial, i, orig, restored)
+			}
+		}
+	}
+}
+
+// TestP2QuantileRoundTripExact is the same property for the P²
+// estimator: the marker state must survive serialization so that the
+// order-dependent adjustment arithmetic continues identically.
+func TestP2QuantileRoundTripExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		p := rng.Float64()
+		n := rng.Intn(300)
+		split := 0
+		if n > 0 {
+			split = rng.Intn(n + 1)
+		}
+		orig := NewP2Quantile(p)
+		for i := 0; i < split; i++ {
+			orig.Add(rng.NormFloat64() * 100)
+		}
+		blob, err := orig.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var restored P2Quantile
+		if err := restored.UnmarshalBinary(blob); err != nil {
+			t.Fatal(err)
+		}
+		for i := split; i < n; i++ {
+			x := rng.NormFloat64() * 100
+			orig.Add(x)
+			restored.Add(x)
+			if orig.N() != restored.N() || bits(orig.Value()) != bits(restored.Value()) || bits(orig.P()) != bits(restored.P()) {
+				t.Fatalf("trial %d (p=%v): restored p2 diverged at observation %d: %v vs %v",
+					trial, p, i, orig.Value(), restored.Value())
+			}
+		}
+	}
+}
+
+// TestCodecRejectsBadPayloads pins the failure modes: wrong sizes and
+// implausible decoded values come back as errors, never as silently
+// poisoned estimators.
+func TestCodecRejectsBadPayloads(t *testing.T) {
+	var w Welford
+	w.Add(1)
+	good, _ := w.MarshalBinary()
+	if len(good) != WelfordBinarySize {
+		t.Fatalf("welford state is %d bytes, want %d", len(good), WelfordBinarySize)
+	}
+	var into Welford
+	if err := into.UnmarshalBinary(good[:len(good)-1]); err == nil {
+		t.Error("truncated welford state accepted")
+	}
+	if err := into.UnmarshalBinary(append(good, 0)); err == nil {
+		t.Error("oversized welford state accepted")
+	}
+	huge := append([]byte(nil), good...)
+	for i := 0; i < 8; i++ {
+		huge[i] = 0xff
+	}
+	if err := into.UnmarshalBinary(huge); err == nil {
+		t.Error("implausible welford count accepted")
+	}
+
+	e := NewP2Quantile(0.5)
+	e.Add(1)
+	goodP, _ := e.MarshalBinary()
+	if len(goodP) != P2QuantileBinarySize {
+		t.Fatalf("p2 state is %d bytes, want %d", len(goodP), P2QuantileBinarySize)
+	}
+	var intoP P2Quantile
+	if err := intoP.UnmarshalBinary(goodP[:10]); err == nil {
+		t.Error("truncated p2 state accepted")
+	}
+	nanP := append([]byte(nil), goodP...)
+	for i := 0; i < 8; i++ {
+		nanP[i] = 0xff // NaN target quantile
+	}
+	if err := intoP.UnmarshalBinary(nanP); err == nil {
+		t.Error("NaN p2 target quantile accepted")
+	}
+	bigN := append([]byte(nil), goodP...)
+	for i := 8; i < 16; i++ {
+		bigN[i] = 0xff
+	}
+	if err := intoP.UnmarshalBinary(bigN); err == nil {
+		t.Error("implausible p2 count accepted")
+	}
+}
