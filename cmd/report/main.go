@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	report [-experiment all|table1|table3|fig2|fig3|fig4|table4|bounds|ablations|fleet|herd]
+//	report [-experiment all|table1|table3|fig2|fig3|fig4|table4|bounds|ablations|fleet|herd|tournament]
 //	       [-trials 3] [-seed 1] [-hours 3] [-format text|markdown|csv]
 //	       [-workers 0] [-devices 10000] [-procs 0] [-progress]
 //

@@ -132,7 +132,7 @@ type options struct {
 // registerFlags binds the options to a FlagSet with their defaults.
 func registerFlags(fs *flag.FlagSet) *options {
 	o := &options{}
-	fs.StringVar(&o.policy, "policy", "SIMTY", "alignment policy (NATIVE, NOALIGN, SIMTY, SIMTY-hw2, SIMTY-hw4, SIMTY-DUR)")
+	fs.StringVar(&o.policy, "policy", "SIMTY", "alignment policy ("+strings.Join(sim.PolicyNames(), ", ")+")")
 	fs.StringVar(&o.workload, "workload", "heavy", "workload: light, heavy, or table3")
 	fs.StringVar(&o.specFile, "spec", "", "load the workload from a JSON spec file instead (see cmd/tracegen -o)")
 	fs.Float64Var(&o.hours, "hours", 3, "standby horizon in hours")

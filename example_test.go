@@ -46,6 +46,24 @@ func ExampleMotivating() {
 	// SIMTY batches [[calendar] [loc1 loc2]]
 }
 
+// Look up registered policies by name. Lookup is case-insensitive, and
+// the registry lists every builtin in registration order.
+func ExamplePolicyByName() {
+	p, err := repro.PolicyByName("simty-u")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.Name())
+	if _, err := repro.PolicyByName("BOGUS"); err != nil {
+		fmt.Println("unknown names are rejected")
+	}
+	fmt.Println(repro.PolicyNames())
+	// Output:
+	// SIMTY-U
+	// unknown names are rejected
+	// [NATIVE NOALIGN INTERVAL DOZE SIMTY SIMTY-hw2 SIMTY-hw4 SIMTY-DUR SIMTY-J SIMTY-U AOI]
+}
+
 // Define a custom alignment policy and plug it into the simulator.
 func ExampleConfig_custom() {
 	r, err := repro.Run(repro.Config{

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The canonical day profile is plain data, so its shape is a stable,
+// documented contract: five phases tiling [0, 24h) with the scales the
+// simulator's diurnal thinning applies.
+func Example() {
+	day := repro.DefaultDay()
+	if err := day.Validate(); err != nil {
+		fmt.Println("invalid profile:", err)
+		return
+	}
+	for _, ph := range day.Phases {
+		fmt.Printf("%s %d–%dh active=%v push=%.2f screen=%.2f\n",
+			ph.Name, ph.Start/repro.Hour, ph.End/repro.Hour, ph.Active, ph.PushScale, ph.ScreenScale)
+	}
+	// Output:
+	// night 0–7h active=false push=0.15 screen=0.05
+	// morning 7–9h active=true push=1.20 screen=1.50
+	// day 9–18h active=true push=1.00 screen=1.00
+	// evening 18–23h active=true push=1.40 screen=1.60
+	// winddown 23–24h active=false push=0.50 screen=0.40
+}

@@ -18,6 +18,23 @@ type PolicyContext struct {
 	// per-device phase) derive their dedicated RNG streams from it, the
 	// same way the simulator derives its wake-latency and push streams.
 	Seed int64
+	// Activity, when non-nil, describes the user's diurnal activity
+	// pattern (apps.DayProfile implements it). Context-aware policies
+	// read it to decide when the user is interacting; seed-only
+	// policies ignore it, so the seedless validation lookups stay
+	// equivalent to run-time lookups.
+	Activity ActivityOracle
+}
+
+// ActivityOracle exposes the diurnal activity phases a context-aware
+// policy keys on. Defined here (rather than importing the workload
+// package) so apps can keep depending on alarm without a cycle.
+type ActivityOracle interface {
+	// ActiveAt reports whether the user is in an active phase at t.
+	ActiveAt(t simclock.Time) bool
+	// NextActiveStart returns the earliest time ≥ t inside an active
+	// phase, or false if the profile has no active phase.
+	NextActiveStart(t simclock.Time) (simclock.Time, bool)
 }
 
 // Factory constructs a fresh policy instance for one run.

@@ -49,6 +49,11 @@ type Spec struct {
 	// wakelocks and never releases them, keeping the device awake
 	// indefinitely. Used for the anomaly-detection substrate and tests.
 	NoSleepBug bool
+	// PayloadKB is the differential-sync payload transferred per
+	// delivery. Non-zero payloads extend the task's hardware hold by
+	// PayloadKB × PayloadKBDur, so payload size scales energy per
+	// delivery (the diff-sync archetype; see diffsync.go).
+	PayloadKB float64
 }
 
 const sec = simclock.Second
@@ -182,6 +187,9 @@ func (r *Runtime) Build(s Spec, nominal simclock.Time) *alarm.Alarm {
 	kind := alarm.Wakeup
 	if s.NonWakeup {
 		kind = alarm.NonWakeup
+	}
+	if s.PayloadKB > 0 {
+		s.TaskDur += simclock.Duration(s.PayloadKB * float64(PayloadKBDur))
 	}
 	window := simclock.Duration(float64(s.Period) * s.Alpha)
 	grace := simclock.Duration(float64(s.Period) * r.Beta)

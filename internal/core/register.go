@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/alarm"
+	"repro/internal/apps"
 	"repro/internal/simclock"
 )
 
@@ -44,5 +45,17 @@ func init() {
 			Inner: NewSimty(),
 			Phase: JitterPhase(ctx.Seed, DefaultJitterSpread),
 		}, nil
+	})
+	alarm.MustRegister("SIMTY-U", func(ctx alarm.PolicyContext) (alarm.Policy, error) {
+		day := ctx.Activity
+		if day == nil {
+			// Standalone use (wakesim -policy SIMTY-U without a diurnal
+			// workload) falls back to the canonical day shape.
+			day = apps.DefaultDay()
+		}
+		return NewUserAware(day), nil
+	})
+	alarm.MustRegister("AOI", func(alarm.PolicyContext) (alarm.Policy, error) {
+		return NewAoIAware(), nil
 	})
 }

@@ -77,6 +77,10 @@ type PolicySummary struct {
 	// MaxPerceptibleDelay is the largest normalized perceptible delay
 	// observed anywhere in the fleet.
 	MaxPerceptibleDelay float64 `json:"max_perceptible_delay"`
+	// AoIMeanAge is the distribution of per-device time-average
+	// Age-of-Information (seconds) over app alarms — the freshness side
+	// of the energy/staleness trade the tournament ranks.
+	AoIMeanAge Dist `json:"aoi_mean_age_s"`
 	// Backend is the backend-load aggregate under this policy: the
 	// folded retry-pipeline counters plus the server-queue replay of the
 	// fleet's merged request arrivals. Nil — and absent from the JSON —
@@ -114,9 +118,9 @@ type Summary struct {
 
 // policyAcc accumulates one policy's metrics.
 type policyAcc struct {
-	energy, standby, wakeups, imperc *acc
-	perceptibleLate, graceLate       int
-	maxPerceptibleDelay              float64
+	energy, standby, wakeups, imperc, aoi *acc
+	perceptibleLate, graceLate            int
+	maxPerceptibleDelay                   float64
 	// bk folds the per-run backend counters; hist merges the per-run
 	// arrival histograms (exact integer adds, so any fold order agrees).
 	// Both stay nil while the spec carries no backend model.
@@ -125,7 +129,7 @@ type policyAcc struct {
 }
 
 func newPolicyAcc(m *backend.Model) *policyAcc {
-	p := &policyAcc{energy: newAcc(), standby: newAcc(), wakeups: newAcc(), imperc: newAcc()}
+	p := &policyAcc{energy: newAcc(), standby: newAcc(), wakeups: newAcc(), imperc: newAcc(), aoi: newAcc()}
 	if m != nil {
 		p.hist = backend.NewHistogram(m.WithDefaults().BucketWidth)
 	}
@@ -145,6 +149,7 @@ func (p *policyAcc) observeObs(o PolicyObs) {
 	p.standby.add(o.StandbyHours)
 	p.wakeups.add(o.Wakeups)
 	p.imperc.add(o.ImperceptibleDelay)
+	p.aoi.add(o.AoIMean)
 	p.perceptibleLate += o.PerceptibleLate
 	p.graceLate += o.GraceLate
 	if o.MaxPerceptibleDelay > p.maxPerceptibleDelay {
@@ -179,6 +184,7 @@ func (p *policyAcc) summary(m *backend.Model) PolicySummary {
 		PerceptibleLate:     p.perceptibleLate,
 		GraceLate:           p.graceLate,
 		MaxPerceptibleDelay: p.maxPerceptibleDelay,
+		AoIMeanAge:          p.aoi.dist(),
 	}
 	if m != nil && p.hist != nil {
 		// Replay the fleet's merged arrivals through the server queue,

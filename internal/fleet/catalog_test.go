@@ -1,0 +1,64 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCatalogSelection(t *testing.T) {
+	spec := Spec{Devices: 4, Seed: 7, Hours: 0.1, Apps: IntRange{Min: 3, Max: 5}}
+	for _, tc := range []struct {
+		catalog string
+		prefix  string
+	}{
+		{"diffsync", "ds."},
+		{"table3", ""},
+		{"", ""},
+	} {
+		s := spec
+		s.Catalog = tc.catalog
+		if err := s.WithDefaults().Validate(); err != nil {
+			t.Fatalf("catalog %q: %v", tc.catalog, err)
+		}
+		d := s.SampleDevice(0)
+		if tc.prefix != "" {
+			for _, a := range d.Workload {
+				if !strings.HasPrefix(a.Name, tc.prefix) {
+					t.Fatalf("catalog %q sampled app %q", tc.catalog, a.Name)
+				}
+			}
+		}
+	}
+	// The empty name must sample exactly like the explicit default, and
+	// unknown names must be rejected.
+	implicit, explicit := spec, spec
+	explicit.Catalog = "table3"
+	for i := 0; i < 4; i++ {
+		a, b := implicit.SampleDevice(i), explicit.SampleDevice(i)
+		if len(a.Workload) != len(b.Workload) {
+			t.Fatal("empty catalog diverged from table3")
+		}
+		for j := range a.Workload {
+			if a.Workload[j].Name != b.Workload[j].Name {
+				t.Fatal("empty catalog diverged from table3")
+			}
+		}
+	}
+	bad := spec
+	bad.Catalog = "nope"
+	if err := bad.WithDefaults().Validate(); err == nil {
+		t.Fatal("unknown catalog accepted")
+	}
+}
+
+func TestDiurnalSpecWiresProfile(t *testing.T) {
+	s := Spec{Devices: 1, Seed: 1, Diurnal: true}
+	cfg := s.Config(s.SampleDevice(0), "SIMTY")
+	if cfg.Diurnal == nil {
+		t.Fatal("Diurnal spec produced a config without a profile")
+	}
+	s.Diurnal = false
+	if cfg := s.Config(s.SampleDevice(0), "SIMTY"); cfg.Diurnal != nil {
+		t.Fatal("non-diurnal spec produced a profile")
+	}
+}

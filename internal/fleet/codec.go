@@ -34,10 +34,12 @@ const (
 	// CodecVersion is the on-wire version of both frame kinds. Bump it
 	// on any layout change: a supervisor refuses frames from a worker
 	// or checkpoint of a different version instead of misparsing them.
-	CodecVersion = 1
+	// v2 added the Age-of-Information mean to PolicyObs rows and the
+	// AoI accumulator to the policy state block.
+	CodecVersion = 2
 
 	frameHeaderSize = 4 + 2 + 4
-	policyObsSize   = 7 * 8
+	policyObsSize   = 8 * 8
 	obsSize         = 1 + 2*policyObsSize + 4*8
 	accSize         = stats.WelfordBinarySize + 3*stats.P2QuantileBinarySize
 )
@@ -88,7 +90,8 @@ func appendPolicyObs(b []byte, o PolicyObs) []byte {
 	b = appendFloat(b, o.ImperceptibleDelay)
 	b = binary.LittleEndian.AppendUint64(b, uint64(o.PerceptibleLate))
 	b = binary.LittleEndian.AppendUint64(b, uint64(o.GraceLate))
-	return appendFloat(b, o.MaxPerceptibleDelay)
+	b = appendFloat(b, o.MaxPerceptibleDelay)
+	return appendFloat(b, o.AoIMean)
 }
 
 func decodePolicyObs(data []byte) (PolicyObs, error) {
@@ -100,6 +103,7 @@ func decodePolicyObs(data []byte) (PolicyObs, error) {
 		PerceptibleLate:     int(int64(binary.LittleEndian.Uint64(data[32:]))),
 		GraceLate:           int(int64(binary.LittleEndian.Uint64(data[40:]))),
 		MaxPerceptibleDelay: math.Float64frombits(binary.LittleEndian.Uint64(data[48:])),
+		AoIMean:             math.Float64frombits(binary.LittleEndian.Uint64(data[56:])),
 	}
 	if o.PerceptibleLate < 0 || o.GraceLate < 0 {
 		return o, fmt.Errorf("fleet: negative guarantee counter in observation row")
@@ -292,6 +296,7 @@ func appendPolicyAcc(b []byte, p *policyAcc) []byte {
 	b = appendAcc(b, p.standby)
 	b = appendAcc(b, p.wakeups)
 	b = appendAcc(b, p.imperc)
+	b = appendAcc(b, p.aoi)
 	b = binary.LittleEndian.AppendUint64(b, uint64(p.perceptibleLate))
 	b = binary.LittleEndian.AppendUint64(b, uint64(p.graceLate))
 	b = appendFloat(b, p.maxPerceptibleDelay)
@@ -304,11 +309,11 @@ func appendPolicyAcc(b []byte, p *policyAcc) []byte {
 }
 
 func decodePolicyAcc(data []byte, p *policyAcc) (rest []byte, err error) {
-	const fixed = 4*accSize + 8 + 8 + 8 + 1
+	const fixed = 5*accSize + 8 + 8 + 8 + 1
 	if len(data) < fixed {
 		return nil, fmt.Errorf("fleet: policy accumulator block truncated")
 	}
-	for _, a := range [...]*acc{p.energy, p.standby, p.wakeups, p.imperc} {
+	for _, a := range [...]*acc{p.energy, p.standby, p.wakeups, p.imperc, p.aoi} {
 		if err := decodeAcc(data, a); err != nil {
 			return nil, err
 		}

@@ -35,6 +35,9 @@ type PolicyObs struct {
 	PerceptibleLate     int
 	GraceLate           int
 	MaxPerceptibleDelay float64
+	// AoIMean is the run's time-average Age-of-Information across the
+	// device's app alarms, in seconds.
+	AoIMean float64
 }
 
 // Obs is one device's complete contribution to the fleet aggregate: the
@@ -58,6 +61,7 @@ func makePolicyObs(r *sim.Result) PolicyObs {
 		PerceptibleLate:     g.PerceptibleLate,
 		GraceLate:           g.GraceLate,
 		MaxPerceptibleDelay: g.MaxPerceptibleDelay,
+		AoIMean:             r.AoI.MeanAgeSec,
 	}
 }
 

@@ -151,6 +151,17 @@ type Spec struct {
 	// every device, synchronizing the fleet's sync schedules — the
 	// thundering-herd scenario the herd experiment measures.
 	AlignedPhases bool `json:"aligned_phases,omitempty"`
+	// Diurnal runs every device against the canonical day profile
+	// (apps.DefaultDay): push/screen rates modulate over activity
+	// phases and context-aware policies see the profile as their
+	// activity oracle. False keeps sampling and simulation
+	// byte-identical to the pre-diurnal fleet.
+	Diurnal bool `json:"diurnal,omitempty"`
+	// Catalog selects the app catalog devices sample their mixes from:
+	// "" or "table3" (the paper's 18 apps), "diffsync" (the
+	// differential-sync archetypes whose payload sizes scale energy
+	// per delivery), or "mixed" (light Table 3 + diff-sync).
+	Catalog string `json:"catalog,omitempty"`
 }
 
 // WithDefaults fills zero fields with the documented defaults.
@@ -223,7 +234,27 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("fleet: %w", err)
 		}
 	}
+	if _, err := catalogFor(s.Catalog); err != nil {
+		return err
+	}
 	return nil
+}
+
+// catalogFor resolves a spec's catalog name to its app list. The empty
+// name is the historical default (Table 3), kept distinct from an
+// explicit "table3" only in spelling so pre-catalog specs hash and
+// sample unchanged.
+func catalogFor(name string) ([]apps.Spec, error) {
+	switch name {
+	case "", "table3":
+		return apps.Table3(), nil
+	case "diffsync":
+		return apps.DiffSyncWorkload(), nil
+	case "mixed":
+		return apps.MixedWorkload(), nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown catalog %q (want table3, diffsync, or mixed)", name)
+	}
 }
 
 // ReadSpec parses and validates a JSON fleet spec.
@@ -289,7 +320,12 @@ func (s Spec) SampleDevice(i int) Device {
 	rng := simclock.Rand(mix(s.Seed, i))
 	d := Device{Index: i, Seed: mix(^s.Seed, i)}
 
-	catalog := apps.Table3()
+	catalog, err := catalogFor(s.Catalog)
+	if err != nil {
+		// Validate rejects unknown catalogs before sampling can run;
+		// reaching this means a caller skipped validation.
+		panic(err)
+	}
 	n := s.Apps.sample(rng)
 	if n > maxAppsPerDevice {
 		n = maxAppsPerDevice
@@ -337,6 +373,9 @@ func (s Spec) Config(d Device, policy string) sim.Config {
 		ZeroWakeLatency:       s.ZeroWakeLatency,
 		Backend:               s.Backend,
 		AlignedPhases:         s.AlignedPhases,
+	}
+	if s.Diurnal {
+		cfg.Diurnal = apps.DefaultDay()
 	}
 	if d.BatteryScale != 1 {
 		p := *power.Nexus5()

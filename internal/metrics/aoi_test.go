@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alarm"
+	"repro/internal/simclock"
+)
+
+func aoiRec(app string, at simclock.Duration) alarm.Record {
+	return alarm.Record{App: app, Delivered: simclock.Time(at)}
+}
+
+func TestAoISingleAppSawtooth(t *testing.T) {
+	// Deliveries at 10 s and 30 s, horizon 40 s: segments of 10, 20 and a
+	// 10 s tail → integral = 50 + 200 + 50 = 300 s², mean = 7.5 s, peak 20 s.
+	recs := []alarm.Record{aoiRec("a", 10*simclock.Second), aoiRec("a", 30*simclock.Second)}
+	s := AoI(recs, simclock.Time(40*simclock.Second))
+	if s.Apps != 1 {
+		t.Fatalf("Apps = %d", s.Apps)
+	}
+	if math.Abs(s.MeanAgeSec-7.5) > 1e-12 {
+		t.Errorf("MeanAgeSec = %v, want 7.5", s.MeanAgeSec)
+	}
+	if s.PeakAgeSec != 20 {
+		t.Errorf("PeakAgeSec = %v, want 20", s.PeakAgeSec)
+	}
+}
+
+func TestAoITailDominatesPeak(t *testing.T) {
+	// One delivery at 5 s, horizon 60 s: the open tail (55 s) is the peak.
+	s := AoI([]alarm.Record{aoiRec("a", 5*simclock.Second)}, simclock.Time(60*simclock.Second))
+	if s.PeakAgeSec != 55 {
+		t.Errorf("PeakAgeSec = %v, want 55", s.PeakAgeSec)
+	}
+}
+
+func TestAoIAveragesAcrossApps(t *testing.T) {
+	// App a delivers every 10 s on a 40 s horizon → mean 5 s. App b
+	// delivers once at 40 s → mean (40²/2)/40 = 20 s. Average 12.5 s.
+	recs := []alarm.Record{
+		aoiRec("a", 10*simclock.Second), aoiRec("a", 20*simclock.Second),
+		aoiRec("a", 30*simclock.Second), aoiRec("a", 40*simclock.Second),
+		aoiRec("b", 40*simclock.Second),
+	}
+	s := AoI(recs, simclock.Time(40*simclock.Second))
+	if s.Apps != 2 {
+		t.Fatalf("Apps = %d", s.Apps)
+	}
+	if math.Abs(s.MeanAgeSec-12.5) > 1e-12 {
+		t.Errorf("MeanAgeSec = %v, want 12.5", s.MeanAgeSec)
+	}
+}
+
+func TestAoIEmptyAndZeroHorizon(t *testing.T) {
+	if s := AoI(nil, simclock.Time(simclock.Hour)); s != (AoIStats{}) {
+		t.Errorf("empty record set: %+v", s)
+	}
+	if s := AoI([]alarm.Record{aoiRec("a", 0)}, 0); s != (AoIStats{}) {
+		t.Errorf("zero horizon: %+v", s)
+	}
+}
+
+// TestAoIMonotoneBetweenDeliveriesAndResetOnDelivery is the satellite
+// property in its direct form: between deliveries the exposed age grows
+// exactly linearly, and each delivery resets it to zero.
+func TestAoIMonotoneBetweenDeliveriesAndResetOnDelivery(t *testing.T) {
+	prop := func(gaps []uint16) bool {
+		a := NewAoIAcc()
+		at := simclock.Time(0)
+		for _, g := range gaps {
+			gap := simclock.Duration(g+1) * simclock.Millisecond
+			// Age is monotone (linear) across the open segment.
+			prev := -1.0
+			for f := 1; f <= 4; f++ {
+				age := a.AgeAt("x", at.Add(gap*simclock.Duration(f)/4))
+				if age < prev {
+					return false
+				}
+				prev = age
+			}
+			at = at.Add(gap)
+			a.Add(alarm.Record{App: "x", Delivered: at})
+			if a.AgeAt("x", at) != 0 { // reset on delivery
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Streaming and batch paths must agree bit for bit (the NoTrace
+// contract every accumulator in this package honors).
+func TestAoIStreamingMatchesBatch(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := simclock.Rand(seed)
+		apps := []string{"a", "b", "c"}
+		var recs []alarm.Record
+		at := simclock.Duration(0)
+		for i := 0; i < int(n); i++ {
+			at += simclock.Duration(1 + rng.Int63n(int64(simclock.Hour)))
+			recs = append(recs, aoiRec(apps[rng.Intn(len(apps))], at))
+		}
+		end := simclock.Time(at + simclock.Hour)
+		acc := NewAoIAcc()
+		for _, r := range recs {
+			acc.Add(r)
+		}
+		return acc.Stats(end) == AoI(recs, end)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

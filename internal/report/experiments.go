@@ -98,6 +98,7 @@ func All() []Experiment {
 		{"robustness", "savings under injected wakelock leaks and alarm storms", Robustness},
 		{"fleet", "savings distribution across 10k heterogeneous devices (streaming aggregates)", Fleet},
 		{"herd", "thundering herd: backend peak load and overload, NATIVE vs SIMTY vs SIMTY-J", Herd},
+		{"tournament", "policy tournament: cross-regime ranking of every registered policy", Tournament},
 	}
 }
 

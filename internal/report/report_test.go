@@ -70,7 +70,7 @@ func TestCSVQuoting(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
+	if len(all) != 14 {
 		t.Fatalf("experiments = %d", len(all))
 	}
 	seen := map[string]bool{}
@@ -315,6 +315,43 @@ func TestFleetBuilds(t *testing.T) {
 	}
 	if len(tbl.Notes) != 2 {
 		t.Fatalf("fleet notes = %d", len(tbl.Notes))
+	}
+}
+
+func TestTournamentBuilds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-regime fleet matrix")
+	}
+	o := fastOpts()
+	o.FleetDevices = 4
+	var calls int
+	o.Progress = func(sim.Progress) { calls++ }
+	tbl, err := Tournament(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One row per entrant plus the NATIVE base.
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("tournament rows = %d", len(tbl.Rows))
+	}
+	// Three regime columns beyond overall/policy/mean-rank.
+	if len(tbl.Columns) != 6 {
+		t.Fatalf("tournament columns = %v", tbl.Columns)
+	}
+	seen := map[string]bool{}
+	for i, r := range tbl.Rows {
+		if r[0] != strconv.Itoa(i+1) {
+			t.Fatalf("row %d overall = %q", i, r[0])
+		}
+		seen[r[1]] = true
+	}
+	for _, p := range []string{"NATIVE", "NOALIGN", "SIMTY", "SIMTY-J", "SIMTY-U", "AOI"} {
+		if !seen[p] {
+			t.Fatalf("scoreboard missing %s (rows %v)", p, tbl.Rows)
+		}
+	}
+	if calls != 15 { // 3 regimes × 5 entrants
+		t.Fatalf("progress calls = %d", calls)
 	}
 }
 

@@ -46,6 +46,7 @@ type runEnv struct {
 	spkvib    *metrics.SpkVibAcc
 	guard     metrics.GuaranteeAcc
 	gaps      metrics.GapAcc
+	aoi       *metrics.AoIAcc
 
 	// backend is the device-side half of the backend co-simulation (nil
 	// unless Config.Backend is set).
@@ -61,6 +62,7 @@ func (e *runEnv) observe(r alarm.Record) {
 	}
 	if e.appNames[r.App] {
 		e.delaysApp.Add(r)
+		e.aoi.Add(r)
 	}
 	e.delaysAll.Add(r)
 	e.wakeups.Add(r)
@@ -116,8 +118,12 @@ func newRunEnv(cfg Config, horizon simclock.Duration) (*runEnv, error) {
 	}
 	pol := cfg.Custom
 	if pol == nil {
+		pctx := alarm.PolicyContext{Seed: cfg.Seed}
+		if cfg.Diurnal != nil {
+			pctx.Activity = cfg.Diurnal
+		}
 		var err error
-		pol, err = alarm.PolicyByName(cfg.Policy, alarm.PolicyContext{Seed: cfg.Seed})
+		pol, err = alarm.PolicyByName(cfg.Policy, pctx)
 		if err != nil {
 			return nil, err
 		}
@@ -152,6 +158,7 @@ func newRunEnv(cfg Config, horizon simclock.Duration) (*runEnv, error) {
 	}
 	env.wakeups = metrics.NewWakeupAcc()
 	env.spkvib = metrics.NewSpkVibAcc()
+	env.aoi = metrics.NewAoIAcc()
 	deliveries := estimateDeliveries(cfg, horizon)
 	if !cfg.NoTrace {
 		env.recs = make([]alarm.Record, 0, deliveries)
@@ -236,7 +243,8 @@ func newRunEnv(cfg Config, horizon simclock.Duration) (*runEnv, error) {
 // stream cfg.Seed+3). Screen-on periods end connected standby
 // momentarily: the device is awake, so due non-wakeup alarms flush.
 func (e *runEnv) scheduleScreenSessions(horizon simclock.Duration) {
-	if e.cfg.ScreenSessionsPerHour <= 0 {
+	rate, maxScale := e.diurnalRate(e.cfg.ScreenSessionsPerHour, (*apps.DayProfile).MaxScreenScale)
+	if rate <= 0 {
 		return
 	}
 	dur := e.cfg.ScreenSessionDur
@@ -244,42 +252,70 @@ func (e *runEnv) scheduleScreenSessions(horizon simclock.Duration) {
 		dur = 30 * simclock.Second
 	}
 	rng := simclock.Rand(e.cfg.Seed + 3)
-	meanGap := float64(simclock.Hour) / e.cfg.ScreenSessionsPerHour
+	meanGap := float64(simclock.Hour) / rate
 	var schedule func(at simclock.Time)
 	schedule = func(at simclock.Time) {
 		if at > simclock.Time(horizon) {
 			return
 		}
 		e.clock.Schedule(at, func() {
-			e.dev.ExecuteWake(func() {
-				e.dev.RunTaskTagged("screen-session", hw.MakeSet(hw.Screen), dur)
-			})
+			// Thinning: candidates arrive at the profile's peak rate and
+			// survive with probability scale(t)/maxScale, which realizes a
+			// Poisson process whose intensity follows the phase scales. A
+			// nil profile draws no thinning variate, keeping the stream
+			// byte-identical to the pre-diurnal simulator.
+			if e.cfg.Diurnal == nil || rng.Float64()*maxScale < e.cfg.Diurnal.At(at).ScreenScale {
+				e.dev.ExecuteWake(func() {
+					e.dev.RunTaskTagged("screen-session", hw.MakeSet(hw.Screen), dur)
+				})
+			}
 			schedule(at.Add(simclock.Duration(rng.ExpFloat64() * meanGap)))
 		})
 	}
 	schedule(simclock.Time(simclock.Duration(rng.ExpFloat64() * meanGap)))
 }
 
+// diurnalRate maps a base event rate to the candidate (envelope) rate
+// the thinning processes draw at: base × the profile's peak scale, or
+// the base rate unchanged without a profile. The peak scale is returned
+// for the acceptance test.
+func (e *runEnv) diurnalRate(base float64, maxOf func(*apps.DayProfile) float64) (rate, maxScale float64) {
+	if base <= 0 {
+		return 0, 0
+	}
+	if e.cfg.Diurnal == nil {
+		return base, 1
+	}
+	maxScale = maxOf(e.cfg.Diurnal)
+	return base * maxScale, maxScale
+}
+
 // schedulePushes starts the Poisson external-wakeup process (RNG stream
 // cfg.Seed+2): GCM pushes are not subject to the alignment policy, but
 // they wake the device and due non-wakeup alarms flush on them.
 func (e *runEnv) schedulePushes(horizon simclock.Duration) {
-	if e.cfg.PushesPerHour <= 0 {
+	rate, maxScale := e.diurnalRate(e.cfg.PushesPerHour, (*apps.DayProfile).MaxPushScale)
+	if rate <= 0 {
 		return
 	}
 	rng := simclock.Rand(e.cfg.Seed + 2)
-	meanGap := float64(simclock.Hour) / e.cfg.PushesPerHour
+	meanGap := float64(simclock.Hour) / rate
 	var schedule func(at simclock.Time)
 	schedule = func(at simclock.Time) {
 		if at > simclock.Time(horizon) {
 			return
 		}
 		e.clock.Schedule(at, func() {
-			e.pushes++
-			e.dev.ExecuteWake(func() {
-				// Receiving the message costs a short Wi-Fi burst.
-				e.dev.RunTaskTagged("gcm-push", hw.MakeSet(hw.WiFi), simclock.Second)
-			})
+			// Same thinning construction as the screen process (see
+			// scheduleScreenSessions); nil profile draws identically to
+			// the pre-diurnal simulator.
+			if e.cfg.Diurnal == nil || rng.Float64()*maxScale < e.cfg.Diurnal.At(at).PushScale {
+				e.pushes++
+				e.dev.ExecuteWake(func() {
+					// Receiving the message costs a short Wi-Fi burst.
+					e.dev.RunTaskTagged("gcm-push", hw.MakeSet(hw.WiFi), simclock.Second)
+				})
+			}
 			schedule(at.Add(simclock.Duration(rng.ExpFloat64() * meanGap)))
 		})
 	}
@@ -302,6 +338,7 @@ func (e *runEnv) result() *Result {
 		SpkVib:       e.spkvib.Row(),
 		Guarantees:   e.guard.Guarantees(),
 		WakeGaps:     e.gaps.Stats(),
+		AoI:          e.aoi.Stats(e.clock.Now()),
 		Trace:        e.logger,
 		FinalWakeups: e.dev.Wakeups(),
 		Pushes:       e.pushes,

@@ -113,6 +113,14 @@ type Config struct {
 	// period grids, the synchronized-fleet scenario (reboot or update
 	// wave) whose backend spike the herd experiment measures.
 	AlignedPhases bool
+	// Diurnal, when non-nil, modulates the push and screen-session
+	// rates by the profile's phase scales (the rates above become the
+	// 1.0-scale baselines) and is handed to context-aware policies as
+	// their activity oracle. Candidate events are drawn at the
+	// profile's peak rate and thinned per phase on the same RNG
+	// streams, so a nil profile remains byte-identical to the
+	// pre-diurnal simulator (the golden parity tests pin it).
+	Diurnal *apps.DayProfile
 }
 
 // withDefaults fills zero fields.
@@ -188,6 +196,11 @@ func (c Config) validate() error {
 			return err
 		}
 	}
+	if c.Diurnal != nil {
+		if err := c.Diurnal.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -228,6 +241,10 @@ type Result struct {
 	// so it survives NoTrace (equals metrics.WakeupGaps(Records) when
 	// records are retained).
 	WakeGaps metrics.IntervalStats
+	// AoI is the Age-of-Information summary over the workload's
+	// application alarms (streamed, so it survives NoTrace): how stale
+	// each app's data ran between deliveries.
+	AoI metrics.AoIStats
 	Trace      *trace.Logger
 	// FinalWakeups is the device's total sleep→awake transition count
 	// (matches Energy.WakeTransitions).

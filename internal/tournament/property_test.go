@@ -1,0 +1,70 @@
+package tournament
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fleet"
+)
+
+// TestPerceptibleGuaranteeAcrossRandomFleets is the paper's inviolable
+// guarantee as a randomized fleet property: under zero wake latency,
+// no tournament entrant ever delivers a perceptible alarm past its
+// window end, on any sampled population, in any regime shape. The
+// regimes are drawn by testing/quick — catalog, diurnal modulation,
+// aligned phases, push and screen rates all vary — so the property
+// covers corners no fixed regime matrix would.
+func TestPerceptibleGuaranteeAcrossRandomFleets(t *testing.T) {
+	catalogs := []string{"", "table3", "diffsync", "mixed"}
+	entrants := append([]string{"NATIVE"}, DefaultPolicies()...)
+	prop := func(seed int64, devs, catalogIdx, pushes, screens uint8, diurnal, aligned, system bool) bool {
+		spec := Spec{
+			Seed:     seed,
+			Devices:  1 + int(devs%2),
+			Policies: DefaultPolicies(),
+			Regimes: []Regime{{
+				Name:           "random",
+				Hours:          0.2,
+				Apps:           fleet.IntRange{Min: 1, Max: 6},
+				PushesPerHour:  fleet.Range{Max: float64(pushes % 8)},
+				ScreensPerHour: fleet.Range{Max: float64(screens % 4)},
+				Diurnal:        diurnal,
+				Catalog:        catalogs[int(catalogIdx)%len(catalogs)],
+				AlignedPhases:  aligned,
+				SystemAlarms:   system,
+			}},
+		}
+		sb, err := Run(context.Background(), spec, Options{})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for _, rr := range sb.Regimes {
+			for _, c := range rr.Cells {
+				if c.PerceptibleLate != 0 {
+					t.Logf("seed %d: %s delivered %d perceptible alarms late", seed, c.Policy, c.PerceptibleLate)
+					return false
+				}
+				if math.IsNaN(c.AoIMeanAge) || c.AoIMeanAge < 0 {
+					t.Logf("seed %d: %s has AoI %v", seed, c.Policy, c.AoIMeanAge)
+					return false
+				}
+			}
+			if len(rr.Cells) != len(entrants) {
+				t.Logf("seed %d: %d cells for %d entrants", seed, len(rr.Cells), len(entrants))
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12, Rand: rand.New(rand.NewSource(1))}
+	if testing.Short() {
+		cfg.MaxCount = 4
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

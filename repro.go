@@ -33,6 +33,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/simclock"
+	"repro/internal/tournament"
 )
 
 // Core simulation types, re-exported from internal/sim.
@@ -113,6 +114,24 @@ type (
 	// folded retry counters plus the server-queue replay of the merged
 	// arrival stream (FleetSummary.Base.Backend / .Test.Backend).
 	BackendSummary = backend.Summary
+	// DayProfile is a 24-hour diurnal usage profile: activity phases
+	// that modulate push/screen rates (Config.Diurnal) and act as the
+	// activity oracle for context-aware policies like SIMTY-U.
+	DayProfile = apps.DayProfile
+	// DayPhase is one contiguous activity phase of a DayProfile.
+	DayPhase = apps.Phase
+	// TournamentSpec describes a cross-regime policy competition: the
+	// entrants, the fleet size, and the workload-regime matrix (see
+	// internal/tournament).
+	TournamentSpec = tournament.Spec
+	// TournamentRegime is one workload column of the tournament matrix.
+	TournamentRegime = tournament.Regime
+	// TournamentOptions tunes tournament execution (worker pool, worker
+	// processes); none of its fields affect the scoreboard's bytes.
+	TournamentOptions = tournament.Options
+	// Scoreboard is a finished tournament: ranked per-regime columns
+	// plus overall standings, byte-identical for a fixed spec.
+	Scoreboard = tournament.Scoreboard
 	// Time is a virtual-time instant in milliseconds.
 	Time = simclock.Time
 	// Duration is a virtual-time span in milliseconds.
@@ -204,9 +223,42 @@ func Motivating(policy string) (*sim.MotivatingResult, error) { return sim.Motiv
 
 // PolicyNames lists the registered alignment policies in registration
 // order: NATIVE, NOALIGN, INTERVAL, DOZE, then the SIMTY family (SIMTY,
-// SIMTY-hw2, SIMTY-hw4, SIMTY-DUR, SIMTY-J). Plug-in policies added via
-// RegisterPolicy appear after the builtins.
+// SIMTY-hw2, SIMTY-hw4, SIMTY-DUR, SIMTY-J) and the context-aware
+// extensions (SIMTY-U, AOI). Plug-in policies added via RegisterPolicy
+// appear after the builtins.
 func PolicyNames() []string { return sim.PolicyNames() }
+
+// PolicyByName instantiates a registered policy (lookup is
+// case-insensitive); unknown names come back as an error listing the
+// registered set. Most callers never need the instance — Config.Policy
+// takes the name — but it is the direct handle for inspecting or
+// embedding a builtin.
+func PolicyByName(name string) (Policy, error) { return sim.PolicyByName(name) }
+
+// RunTournament executes a cross-regime policy competition: every
+// entrant simulates every regime's fleet paired against the base
+// policy, and the per-regime fleet summaries are ranked into the
+// scoreboard. The scoreboard is a pure function of the spec —
+// byte-identical across worker counts and process counts.
+func RunTournament(ctx context.Context, spec TournamentSpec, opts TournamentOptions) (*Scoreboard, error) {
+	return tournament.Run(ctx, spec, opts)
+}
+
+// DefaultDay returns the canonical weekday profile: a quiet night, a
+// morning spike, steady daytime use, an evening peak, and wind-down.
+// Set Config.Diurnal to it (or FleetSpec.Diurnal / a tournament
+// regime's Diurnal flag) to modulate push and screen arrivals over the
+// day and give context-aware policies their activity oracle.
+func DefaultDay() *DayProfile { return apps.DefaultDay() }
+
+// DiffSyncWorkload returns the differential-sync app archetypes: chat,
+// mail, notes, feed, drive, photos, backup — dynamic-interval apps
+// whose per-delivery payload sizes scale task energy.
+func DiffSyncWorkload() []AppSpec { return apps.DiffSyncWorkload() }
+
+// MixedWorkload returns the light Table 3 scenario plus the
+// differential-sync archetypes.
+func MixedWorkload() []AppSpec { return apps.MixedWorkload() }
 
 // RegisterPolicy adds a named alignment policy to the global registry,
 // making it selectable by name everywhere a policy string is accepted
